@@ -1,0 +1,37 @@
+//! Compression codec throughput on the five sensor waveforms — the
+//! computation behind Table 2's buffered-strategy compute energy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use neofog_sensors::{SensorKind, SignalGenerator};
+use neofog_workloads::{compress, decompress};
+use std::hint::black_box;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress_64k_batch");
+    group.throughput(Throughput::Bytes(65_536));
+    for kind in [
+        SensorKind::Tmp101,
+        SensorKind::Lis331dlh,
+        SensorKind::EcgFrontend,
+        SensorKind::UvPhotodiode,
+        SensorKind::Lupa1399,
+    ] {
+        let mut gen = SignalGenerator::new(kind, 7);
+        let data = gen.generate(65_536);
+        group.bench_with_input(BenchmarkId::new("compress", format!("{kind:?}")), &data, |b, d| {
+            b.iter(|| compress(black_box(d)));
+        });
+        let packed = compress(&data);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", format!("{kind:?}")),
+            &packed,
+            |b, p| {
+                b.iter(|| decompress(black_box(p)).expect("valid stream"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Algorithm 1 (the distributed load-balance dynamic program) scaling:
+//! the paper gives its complexity as O(n · MAXTIME).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neofog_core::balance::partition_tasks;
+use std::hint::black_box;
+
+fn bench_dp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algorithm1_dp");
+    for &n in &[4usize, 16, 64, 256] {
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 7) % 23 + 1).collect();
+        let b: Vec<u64> = (0..n as u64).map(|i| (i * 13) % 19 + 1).collect();
+        group.bench_with_input(BenchmarkId::new("tasks", n), &n, |bench, _| {
+            bench.iter(|| partition_tasks(black_box(&a), black_box(&b), 600));
+        });
+    }
+    for &max_time in &[60u64, 600, 6000] {
+        let a: Vec<u64> = (0..32u64).map(|i| (i * 7) % 23 + 1).collect();
+        let b: Vec<u64> = (0..32u64).map(|i| (i * 13) % 19 + 1).collect();
+        group.bench_with_input(BenchmarkId::new("maxtime", max_time), &max_time, |bench, &mt| {
+            bench.iter(|| partition_tasks(black_box(&a), black_box(&b), mt));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

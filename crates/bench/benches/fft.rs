@@ -1,0 +1,24 @@
+//! FFT kernel throughput — the core of the bridge-health fog pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neofog_workloads::fft::{fft_real, magnitude_spectrum};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for &n in &[256usize, 1024, 4096, 16384] {
+        let signal: Vec<f64> =
+            (0..n).map(|i| (i as f64 * 0.1).sin() + 0.3 * (i as f64 * 0.5).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("fft_real", n), &signal, |b, s| {
+            b.iter(|| fft_real(black_box(s)));
+        });
+    }
+    let signal: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.07).sin()).collect();
+    group.bench_function("magnitude_spectrum_4096", |b| {
+        b.iter(|| magnitude_spectrum(black_box(&signal)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

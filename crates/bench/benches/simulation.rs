@@ -1,0 +1,59 @@
+//! System-simulator throughput plus the load-balancer ablation: the
+//! same NEOFog hardware with no / tree / distributed balancing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neofog_core::sim::{BalancerKind, SimConfig, Simulator};
+use neofog_core::SystemKind;
+use neofog_energy::Scenario;
+use std::hint::black_box;
+
+fn quick(system: SystemKind, slots: u64) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(system, Scenario::ForestIndependent, 1);
+    cfg.slots = slots;
+    cfg
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for system in SystemKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("150_slots", system.label()),
+            &system,
+            |b, &s| {
+                b.iter(|| Simulator::new(black_box(quick(s, 150))).run());
+            },
+        );
+    }
+    for balancer in [BalancerKind::None, BalancerKind::Tree, BalancerKind::Distributed] {
+        group.bench_with_input(
+            BenchmarkId::new("balancer_ablation", format!("{balancer:?}")),
+            &balancer,
+            |b, &bal| {
+                b.iter(|| {
+                    let mut cfg = quick(SystemKind::FiosNeoFog, 150);
+                    cfg.balancer = bal;
+                    Simulator::new(black_box(cfg)).run()
+                });
+            },
+        );
+    }
+    // NVD4Q scaling: physical node count grows with the multiplex factor.
+    for factor in [1u32, 3, 5] {
+        group.bench_with_input(
+            BenchmarkId::new("multiplex", factor),
+            &factor,
+            |b, &f| {
+                b.iter(|| {
+                    let mut cfg = quick(SystemKind::FiosNeoFog, 150);
+                    cfg.multiplex = f;
+                    Simulator::new(black_box(cfg)).run()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Regenerates Figures 1 and 4: per-phase activation timing of the
+//! NOS-VP, NOS-NVP and FIOS-NEOFog node designs.
+
+use neofog_bench::banner;
+use neofog_core::report::render_table;
+use neofog_core::timeline::Timeline;
+use neofog_core::SystemKind;
+
+fn main() {
+    banner(
+        "Figures 1 & 4",
+        "NOS-VP ~646 ms to first byte; NOS-NVP 36 ms; NEOFog radio work ~4 ms",
+    );
+    for system in SystemKind::ALL {
+        let tl = Timeline::figure4(system, 8);
+        println!("--- {} ---", system.label());
+        let rows: Vec<Vec<String>> = tl
+            .phases
+            .iter()
+            .map(|p| {
+                vec![
+                    p.name.to_string(),
+                    format!("{}", p.duration),
+                    if p.on_intermittent_power { "intermittent".into() } else { "stored".into() },
+                ]
+            })
+            .collect();
+        println!("{}", render_table(&["Phase", "Duration", "Power source"], &rows));
+        println!(
+            "total: {}   stored-energy window: {}\n",
+            tl.total(),
+            tl.stored_energy_time()
+        );
+    }
+    let vp = Timeline::figure4(SystemKind::NosVp, 8);
+    let neo = Timeline::figure4(SystemKind::FiosNeoFog, 8);
+    println!(
+        "stored-energy window shrinks {}x from NOS-VP to FIOS-NEOFog",
+        vp.stored_energy_time().as_micros() / neo.stored_energy_time().as_micros().max(1)
+    );
+}

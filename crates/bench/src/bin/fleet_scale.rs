@@ -1,0 +1,70 @@
+//! Demonstrates the paper's §4 scale claim: thousands of single-node
+//! simulators at once (here: 100 chains x 10 nodes = 1000 nodes for
+//! the intra-chain study, and 5000 nodes with 5x NVD4Q multiplexing
+//! for the inter-chain study), with the distribution of per-chain
+//! outcomes the 10-node figures are drawn from.
+
+use neofog_bench::banner;
+use neofog_core::fleet::run_fleet;
+use neofog_core::report::render_table;
+use neofog_core::sim::SimConfig;
+use neofog_core::SystemKind;
+use neofog_energy::Scenario;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "Fleet scale (§4)",
+        "1000 nodes intra-chain; 1000-5000 nodes inter-chain with NVD4Q",
+    );
+    // Intra-chain: 100 independent 10-node chains (1000 nodes).
+    let mut base =
+        SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+    base.slots = 500;
+    let t0 = Instant::now();
+    let intra = run_fleet(&base, 100);
+    let intra_secs = t0.elapsed().as_secs_f64();
+
+    // Inter-chain: 100 chains at 5x multiplexing (5000 physical nodes).
+    let mut multi = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainRainy, 1);
+    multi.slots = 500;
+    multi.multiplex = 5;
+    let t1 = Instant::now();
+    let inter = run_fleet(&multi, 100);
+    let inter_secs = t1.elapsed().as_secs_f64();
+
+    let fmt = |s: &neofog_core::fleet::FleetStat| {
+        vec![
+            format!("{:.0}", s.mean),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.p10),
+            format!("{:.0}", s.p50),
+            format!("{:.0}", s.p90),
+            format!("{:.0}", s.max),
+        ]
+    };
+    for (label, fleet, secs) in [
+        ("intra-chain, 1000 nodes", &intra, intra_secs),
+        ("inter-chain, 5000 nodes (5x NVD4Q)", &inter, inter_secs),
+    ] {
+        println!(
+            "--- {label}: {} chains / {} nodes, simulated in {secs:.1}s ---",
+            fleet.chains, fleet.nodes
+        );
+        let mut rows = Vec::new();
+        for (name, stat) in [
+            ("captured / chain", &fleet.captured),
+            ("processed / chain", &fleet.total),
+            ("in-fog / chain", &fleet.fog),
+        ] {
+            let mut row = vec![name.to_string()];
+            row.extend(fmt(stat));
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(&["metric", "mean", "min", "p10", "p50", "p90", "max"], &rows)
+        );
+        println!("network-wide in-fog packages: {}\n", fleet.fog_sum);
+    }
+}

@@ -1,0 +1,16 @@
+//! Shared helpers for the NEOFog benchmark/figure binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation; `cargo bench` runs the Criterion micro-benches.
+//! The full-scale figure binaries should be run with `--release`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints the standard header for a figure/table binary.
+pub fn banner(what: &str, paper_says: &str) {
+    println!("================================================================");
+    println!("NEOFog reproduction — {what}");
+    println!("Paper reference: {paper_says}");
+    println!("================================================================");
+}

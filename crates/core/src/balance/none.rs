@@ -1,0 +1,35 @@
+//! The no-op balancer (the "VP w/o Load Balance" baseline).
+
+use super::{BalanceReport, ChainBalanceInput, LoadBalancer};
+use neofog_types::SimRng;
+
+/// Leaves every node's tasks untouched — Figure 6(b): "absent load
+/// balancing, efficiency is very low".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoBalancer;
+
+impl LoadBalancer for NoBalancer {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn balance(&self, _chain: &mut ChainBalanceInput, _rng: &mut SimRng) -> BalanceReport {
+        BalanceReport::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::test_util::chain;
+
+    #[test]
+    fn moves_nothing() {
+        let mut input = chain(&[0.0, 10.0, 0.0], &[5, 0, 5], 1000);
+        let before = input.clone();
+        let report = NoBalancer.balance(&mut input, &mut SimRng::seed_from(1));
+        assert_eq!(input, before);
+        assert_eq!(report, BalanceReport::default());
+        assert_eq!(NoBalancer.name(), "none");
+    }
+}

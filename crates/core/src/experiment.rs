@@ -1,0 +1,341 @@
+//! Ready-made experiment configurations for every table and figure of
+//! the paper's evaluation (§5), plus a parallel runner.
+
+use crate::metrics::NetworkMetrics;
+use crate::node::SystemKind;
+use crate::sim::{SimConfig, SimResult, Simulator};
+use neofog_energy::Scenario;
+use serde::{Deserialize, Serialize};
+
+/// The three-bar summary each power profile gets in Figures 10/11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemSummary {
+    /// Node design.
+    pub system: SystemKind,
+    /// Total node wakeups.
+    pub wakeups: u64,
+    /// Packages delivered raw (cloud-processed).
+    pub cloud: u64,
+    /// Packages delivered after in-fog processing.
+    pub fog: u64,
+}
+
+impl SystemSummary {
+    /// Total packages processed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.cloud + self.fog
+    }
+
+    fn from_result(result: &SimResult) -> Self {
+        SystemSummary {
+            system: result.config.system,
+            wakeups: result.metrics.total_wakeups(),
+            cloud: result.metrics.cloud_processed(),
+            fog: result.metrics.fog_processed(),
+        }
+    }
+}
+
+/// One power profile's worth of Figure 10/11 data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// Profile index (the paper shows five).
+    pub profile: u64,
+    /// One summary per system, in [`SystemKind::ALL`] order.
+    pub systems: Vec<SystemSummary>,
+}
+
+/// Runs a batch of simulations in parallel (one thread each, capped by
+/// available parallelism).
+#[must_use]
+pub fn run_many(configs: Vec<SimConfig>) -> Vec<SimResult> {
+    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
+    let mut results: Vec<Option<SimResult>> = configs.iter().map(|_| None).collect();
+    let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
+    let chunks: Vec<Vec<(usize, SimConfig)>> = jobs
+        .chunks((jobs.len().max(1)).div_ceil(workers))
+        .map(<[(usize, SimConfig)]>::to_vec)
+        .collect();
+    let mut out: Vec<(usize, SimResult)> = Vec::with_capacity(results.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    chunk
+                        .into_iter()
+                        .map(|(i, cfg)| (i, Simulator::new(cfg).run()))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("simulation thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    for (i, r) in out {
+        results[i] = Some(r);
+    }
+    results.into_iter().map(|r| r.expect("all results filled")).collect()
+}
+
+/// Figures 10 (independent) and 11 (dependent): runs all three systems
+/// over the given power profiles.
+#[must_use]
+pub fn figure10_11(scenario: Scenario, profiles: &[u64]) -> Vec<ProfileRow> {
+    let configs: Vec<SimConfig> = profiles
+        .iter()
+        .flat_map(|&p| {
+            SystemKind::ALL
+                .iter()
+                .map(move |&s| SimConfig::paper_default(s, scenario, p))
+        })
+        .collect();
+    let results = run_many(configs);
+    profiles
+        .iter()
+        .enumerate()
+        .map(|(pi, &p)| ProfileRow {
+            profile: p,
+            systems: (0..SystemKind::ALL.len())
+                .map(|si| SystemSummary::from_result(&results[pi * SystemKind::ALL.len() + si]))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Averages the per-system totals across profiles (the "Average"
+/// cluster of Figures 10/11).
+#[must_use]
+pub fn average_row(rows: &[ProfileRow]) -> Vec<SystemSummary> {
+    let n = rows.len().max(1) as u64;
+    (0..SystemKind::ALL.len())
+        .map(|si| SystemSummary {
+            system: SystemKind::ALL[si],
+            wakeups: rows.iter().map(|r| r.systems[si].wakeups).sum::<u64>() / n,
+            cloud: rows.iter().map(|r| r.systems[si].cloud).sum::<u64>() / n,
+            fog: rows.iter().map(|r| r.systems[si].fog).sum::<u64>() / n,
+        })
+        .collect()
+}
+
+/// Figure 9: stored-energy traces of the first three chain nodes.
+///
+/// The paper's comparison is VP without load balance, NVP with the
+/// baseline tree balance and NVP with the proposed distributed balance
+/// — all on a bright daytime solar window where an unbalanced node's
+/// capacitor is "frequently full, meaning further energy was rejected".
+#[must_use]
+pub fn figure9(seed: u64) -> Vec<(&'static str, NetworkMetrics)> {
+    use crate::sim::BalancerKind;
+    let variants = [
+        ("VP w/o load balance", SystemKind::NosVp, BalancerKind::None),
+        ("NVP + baseline tree LB", SystemKind::NosNvp, BalancerKind::Tree),
+        ("NVP + distributed LB", SystemKind::NosNvp, BalancerKind::Distributed),
+    ];
+    let configs: Vec<SimConfig> = variants
+        .iter()
+        .map(|&(_, system, balancer)| {
+            let mut cfg = SimConfig::paper_default(system, Scenario::BridgeDependent, seed);
+            cfg.balancer = balancer;
+            cfg.trace_stored = true;
+            cfg.income_scale = 1.0; // bright day
+            cfg
+        })
+        .collect();
+    run_many(configs)
+        .into_iter()
+        .zip(variants)
+        .map(|(r, (label, _, _))| (label, r.metrics))
+        .collect()
+}
+
+/// One point of the Figure 12/13 multiplexing sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MultiplexPoint {
+    /// Multiplexing factor (1 = "100 %").
+    pub factor: u32,
+    /// Packages processed in-fog by the NEOFog system.
+    pub fog_processed: u64,
+    /// Total packages processed.
+    pub total_processed: u64,
+    /// Total samples captured across the logical network.
+    pub captured: u64,
+}
+
+/// Figures 12/13: NVD4Q multiplexing sweep. Returns the NEOFog points
+/// for each factor plus the VP-without-balancing reference.
+#[must_use]
+pub fn multiplex_sweep(scenario: Scenario, factors: &[u32], seed: u64) -> (Vec<MultiplexPoint>, u64) {
+    let mut configs: Vec<SimConfig> = factors
+        .iter()
+        .map(|&f| {
+            let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, scenario, seed);
+            cfg.multiplex = f;
+            cfg
+        })
+        .collect();
+    configs.push(SimConfig::paper_default(SystemKind::NosVp, scenario, seed));
+    let mut results = run_many(configs);
+    let vp = results.pop().expect("vp reference present");
+    let points = results
+        .iter()
+        .zip(factors)
+        .map(|(r, &f)| MultiplexPoint {
+            factor: f,
+            fog_processed: r.metrics.fog_processed(),
+            total_processed: r.metrics.total_processed(),
+            captured: r.metrics.total_captured(),
+        })
+        .collect();
+    // The VP system delivers everything raw; its "in-fog" equivalent in
+    // Figures 12/13 is its delivered package count.
+    (points, vp.metrics.total_processed())
+}
+
+/// The paper's headline numbers, derived from the low-power sweep:
+/// in-fog gain of NEOFog over VP at baseline node count, and at 3×
+/// multiplexing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Headline {
+    /// NEOFog(1×) / VP in-fog gain (paper: 4.2×).
+    pub baseline_gain: f64,
+    /// NEOFog(3×) / VP in-fog gain (paper: up to 8×).
+    pub multiplexed_gain: f64,
+}
+
+/// One ablation variant: the full NEOFog node with one technique
+/// removed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant label.
+    pub label: String,
+    /// Packages processed in-fog.
+    pub fog: u64,
+    /// Total packages processed.
+    pub total: u64,
+}
+
+/// The §5 "contributions due to individual techniques" study: start
+/// from the full FIOS-NEOFog node and remove one nonvolatility-
+/// exploiting technique at a time.
+#[must_use]
+pub fn ablation(scenario: Scenario, seed: u64) -> Vec<AblationRow> {
+    use crate::node::RadioControl;
+    use crate::sim::BalancerKind;
+    use neofog_energy::FrontEnd;
+
+    let base = SimConfig::paper_default(SystemKind::FiosNeoFog, scenario, seed);
+    let mut variants: Vec<(String, SimConfig)> = Vec::new();
+    variants.push(("full NEOFog".into(), base.clone()));
+    {
+        let mut cfg = base.clone();
+        cfg.node.radio = RadioControl::NvmRestore;
+        variants.push(("- NVRF (NVM-restore radio)".into(), cfg));
+    }
+    {
+        let mut cfg = base.clone();
+        cfg.node.front_end = FrontEnd::nos();
+        variants.push(("- FIOS front-end (NOS single channel)".into(), cfg));
+    }
+    {
+        let mut cfg = base.clone();
+        cfg.balancer = BalancerKind::Tree;
+        variants.push(("- distributed LB (baseline tree)".into(), cfg));
+    }
+    {
+        let mut cfg = base.clone();
+        cfg.balancer = BalancerKind::None;
+        variants.push(("- load balancing entirely".into(), cfg));
+    }
+    variants.push((
+        "NOS-NVP baseline".into(),
+        SimConfig::paper_default(SystemKind::NosNvp, scenario, seed),
+    ));
+    variants.push((
+        "NOS-VP baseline".into(),
+        SimConfig::paper_default(SystemKind::NosVp, scenario, seed),
+    ));
+
+    let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
+    let configs: Vec<SimConfig> = variants.into_iter().map(|(_, c)| c).collect();
+    run_many(configs)
+        .into_iter()
+        .zip(labels)
+        .map(|(r, label)| AblationRow {
+            label,
+            fog: r.metrics.fog_processed(),
+            total: r.metrics.total_processed(),
+        })
+        .collect()
+}
+
+/// Computes the headline gains in the low-power (rainy) scenario.
+#[must_use]
+pub fn headline(seed: u64) -> Headline {
+    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &[1, 3], seed);
+    let vp = vp.max(1) as f64;
+    Headline {
+        baseline_gain: points[0].fog_processed as f64 / vp,
+        multiplexed_gain: points[1].fog_processed as f64 / vp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shrink(cfg: &mut SimConfig) {
+        cfg.slots = 120;
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let mut a = SimConfig::paper_default(SystemKind::NosVp, Scenario::ForestIndependent, 1);
+        let mut b =
+            SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+        shrink(&mut a);
+        shrink(&mut b);
+        let results = run_many(vec![a, b]);
+        assert_eq!(results[0].config.system, SystemKind::NosVp);
+        assert_eq!(results[1].config.system, SystemKind::FiosNeoFog);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let mut cfg =
+            SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 7);
+        shrink(&mut cfg);
+        let serial = Simulator::new(cfg.clone()).run();
+        let parallel = run_many(vec![cfg]).remove(0);
+        assert_eq!(serial.metrics, parallel.metrics);
+    }
+
+    #[test]
+    fn average_row_averages() {
+        let rows = vec![
+            ProfileRow {
+                profile: 1,
+                systems: vec![
+                    SystemSummary { system: SystemKind::NosVp, wakeups: 10, cloud: 4, fog: 0 },
+                    SystemSummary { system: SystemKind::NosNvp, wakeups: 8, cloud: 1, fog: 5 },
+                    SystemSummary { system: SystemKind::FiosNeoFog, wakeups: 8, cloud: 1, fog: 9 },
+                ],
+            },
+            ProfileRow {
+                profile: 2,
+                systems: vec![
+                    SystemSummary { system: SystemKind::NosVp, wakeups: 20, cloud: 8, fog: 0 },
+                    SystemSummary { system: SystemKind::NosNvp, wakeups: 10, cloud: 1, fog: 7 },
+                    SystemSummary { system: SystemKind::FiosNeoFog, wakeups: 10, cloud: 1, fog: 11 },
+                ],
+            },
+        ];
+        let avg = average_row(&rows);
+        assert_eq!(avg[0].wakeups, 15);
+        assert_eq!(avg[0].cloud, 6);
+        assert_eq!(avg[2].fog, 10);
+    }
+}

@@ -1,0 +1,182 @@
+//! Fleet-scale simulation (paper §4).
+//!
+//! "Our simulator runs thousands of single-node simulators
+//! simultaneously (1000 for intra-chain simulation, and 1000 to 5000
+//! for inter-chain simulation). Each node has different power inputs.
+//! ... Of the simulated thousands of nodes, 10 consecutive nodes'
+//! information is shown as the presented example in the paper for
+//! simplicity."
+//!
+//! [`run_fleet`] simulates many independent chains in parallel (each
+//! chain seeded differently, exactly like the paper's per-node power
+//! inputs) and aggregates the distribution of per-chain outcomes, so
+//! the 10-node figures can be read as one draw from a characterized
+//! population.
+
+use crate::experiment::run_many;
+use crate::sim::SimConfig;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over per-chain outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetStat {
+    /// Mean across chains.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl FleetStat {
+    /// Computes statistics from raw per-chain values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "at least one chain required");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |q: f64| -> f64 {
+            let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx]
+        };
+        FleetStat {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            p10: pct(0.10),
+            p50: pct(0.50),
+            p90: pct(0.90),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Aggregated result of a fleet run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetResult {
+    /// Chains simulated.
+    pub chains: usize,
+    /// Physical nodes simulated in total.
+    pub nodes: usize,
+    /// Distribution of per-chain fog-processed packages.
+    pub fog: FleetStat,
+    /// Distribution of per-chain total processed packages.
+    pub total: FleetStat,
+    /// Distribution of per-chain captured packages.
+    pub captured: FleetStat,
+    /// Network-wide fog-processed sum.
+    pub fog_sum: u64,
+}
+
+/// Runs `chains` independent copies of `base` (seeded `base.seed`,
+/// `base.seed + 1`, …) in parallel and aggregates.
+///
+/// # Panics
+///
+/// Panics if `chains` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_core::fleet::run_fleet;
+/// use neofog_core::sim::SimConfig;
+/// use neofog_core::SystemKind;
+/// use neofog_energy::Scenario;
+///
+/// let mut base = SimConfig::paper_default(
+///     SystemKind::FiosNeoFog,
+///     Scenario::ForestIndependent,
+///     1,
+/// );
+/// base.slots = 50;
+/// let fleet = run_fleet(&base, 20); // 200 nodes
+/// assert_eq!(fleet.chains, 20);
+/// assert!(fleet.fog.p90 >= fleet.fog.p10);
+/// ```
+#[must_use]
+pub fn run_fleet(base: &SimConfig, chains: usize) -> FleetResult {
+    assert!(chains > 0, "at least one chain required");
+    let configs: Vec<SimConfig> = (0..chains)
+        .map(|k| {
+            let mut cfg = base.clone();
+            cfg.seed = base.seed.wrapping_add(k as u64);
+            cfg
+        })
+        .collect();
+    let results = run_many(configs);
+    let fog: Vec<f64> = results.iter().map(|r| r.metrics.fog_processed() as f64).collect();
+    let total: Vec<f64> = results.iter().map(|r| r.metrics.total_processed() as f64).collect();
+    let captured: Vec<f64> =
+        results.iter().map(|r| r.metrics.total_captured() as f64).collect();
+    FleetResult {
+        chains,
+        nodes: chains * base.positions * base.multiplex as usize,
+        fog: FleetStat::from_values(&fog),
+        total: FleetStat::from_values(&total),
+        captured: FleetStat::from_values(&captured),
+        fog_sum: results.iter().map(|r| r.metrics.fog_processed()).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::SystemKind;
+    use neofog_energy::Scenario;
+
+    fn base(slots: u64) -> SimConfig {
+        let mut cfg =
+            SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 7);
+        cfg.slots = slots;
+        cfg
+    }
+
+    #[test]
+    fn stats_are_ordered() {
+        let s = FleetStat::from_values(&[5.0, 1.0, 9.0, 3.0, 7.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.p50, 5.0);
+        assert!(s.p10 <= s.p50 && s.p50 <= s.p90);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_counts_nodes() {
+        let fleet = run_fleet(&base(40), 8);
+        assert_eq!(fleet.chains, 8);
+        assert_eq!(fleet.nodes, 80);
+        assert!(fleet.fog_sum > 0);
+    }
+
+    #[test]
+    fn chains_vary_but_cluster() {
+        let fleet = run_fleet(&base(120), 16);
+        // Independent seeds: some spread, but the population clusters
+        // (p90 within ~3x of p10 for this scenario).
+        assert!(fleet.fog.max > fleet.fog.min, "no variation is suspicious");
+        assert!(fleet.fog.p90 <= fleet.fog.p10 * 3.0 + 50.0, "{:?}", fleet.fog);
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let a = run_fleet(&base(40), 6);
+        let b = run_fleet(&base(40), 6);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chain")]
+    fn zero_chains_rejected() {
+        let _ = run_fleet(&base(10), 0);
+    }
+}

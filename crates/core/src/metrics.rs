@@ -1,0 +1,154 @@
+//! Evaluation metrics (paper §5).
+//!
+//! "To quantify WSN output quality, we employ the following metrics:
+//! counts of node wakeups, successfully processed samples, and samples
+//! processed in the fog." Cloud-processed packages are those delivered
+//! raw; fog-processed packages were fully processed at the edge before
+//! delivery.
+
+use neofog_types::Energy;
+use serde::{Deserialize, Serialize};
+
+/// Per-node counters.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeMetrics {
+    /// Slots in which the node woke up.
+    pub wakeups: u64,
+    /// Slots in which the node was scheduled to wake but could not
+    /// (energy depletion — the paper's "node failures").
+    pub failures: u64,
+    /// Packages captured (sampled) by this node.
+    pub captured: u64,
+    /// Fog tasks completed by this node (execution credit, counts
+    /// balanced work from neighbours too).
+    pub tasks_executed: u64,
+    /// Own packages delivered having been processed in the fog.
+    pub delivered_fog: u64,
+    /// Own packages delivered raw (processed in the cloud).
+    pub delivered_cloud: u64,
+    /// Packages lost (channel loss, volatile drops, buffer overflow).
+    pub dropped: u64,
+    /// Total energy harvested (delivered by the front-end).
+    pub harvested: Energy,
+    /// Energy rejected because the capacitor was full.
+    pub rejected: Energy,
+    /// Energy spent on radio (TX + RX + init).
+    pub radio_energy: Energy,
+    /// Energy spent on computation (fog tasks).
+    pub compute_energy: Energy,
+    /// Stored-energy samples over time (for Figure 9), in millijoules,
+    /// recorded once per slot when tracing is enabled.
+    pub stored_series: Vec<f32>,
+}
+
+/// Whole-network counters plus per-node detail.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetworkMetrics {
+    /// Per-node metrics, indexed by node index.
+    pub nodes: Vec<NodeMetrics>,
+    /// Load-balance rounds that were interrupted.
+    pub balance_interruptions: u64,
+    /// Tasks moved by the balancer.
+    pub balance_tasks_moved: u64,
+    /// Hop transmissions spent on balancing.
+    pub balance_transfer_hops: u64,
+}
+
+impl NetworkMetrics {
+    /// Creates zeroed metrics for `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        NetworkMetrics { nodes: vec![NodeMetrics::default(); n], ..Default::default() }
+    }
+
+    /// Sum of node wakeups.
+    #[must_use]
+    pub fn total_wakeups(&self) -> u64 {
+        self.nodes.iter().map(|n| n.wakeups).sum()
+    }
+
+    /// Sum of node failures.
+    #[must_use]
+    pub fn total_failures(&self) -> u64 {
+        self.nodes.iter().map(|n| n.failures).sum()
+    }
+
+    /// Sum of captured packages.
+    #[must_use]
+    pub fn total_captured(&self) -> u64 {
+        self.nodes.iter().map(|n| n.captured).sum()
+    }
+
+    /// Packages delivered after in-fog processing.
+    #[must_use]
+    pub fn fog_processed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.delivered_fog).sum()
+    }
+
+    /// Packages delivered raw for cloud processing.
+    #[must_use]
+    pub fn cloud_processed(&self) -> u64 {
+        self.nodes.iter().map(|n| n.delivered_cloud).sum()
+    }
+
+    /// Total packages delivered (the paper's "total packets
+    /// processed").
+    #[must_use]
+    pub fn total_processed(&self) -> u64 {
+        self.fog_processed() + self.cloud_processed()
+    }
+
+    /// Total packages dropped.
+    #[must_use]
+    pub fn total_dropped(&self) -> u64 {
+        self.nodes.iter().map(|n| n.dropped).sum()
+    }
+
+    /// Total radio energy across the network.
+    #[must_use]
+    pub fn total_radio_energy(&self) -> Energy {
+        self.nodes.iter().map(|n| n.radio_energy).sum()
+    }
+
+    /// Total compute energy across the network.
+    #[must_use]
+    pub fn total_compute_energy(&self) -> Energy {
+        self.nodes.iter().map(|n| n.compute_energy).sum()
+    }
+
+    /// Share of delivered packages that were fog-processed.
+    #[must_use]
+    pub fn fog_share(&self) -> f64 {
+        let total = self.total_processed();
+        if total == 0 {
+            0.0
+        } else {
+            self.fog_processed() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_sum_over_nodes() {
+        let mut m = NetworkMetrics::new(3);
+        m.nodes[0].wakeups = 5;
+        m.nodes[1].wakeups = 7;
+        m.nodes[2].delivered_fog = 4;
+        m.nodes[2].delivered_cloud = 1;
+        assert_eq!(m.total_wakeups(), 12);
+        assert_eq!(m.total_processed(), 5);
+        assert_eq!(m.fog_processed(), 4);
+        assert!((m.fog_share() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_network_has_zero_share() {
+        let m = NetworkMetrics::new(2);
+        assert_eq!(m.fog_share(), 0.0);
+        assert_eq!(m.total_processed(), 0);
+    }
+}

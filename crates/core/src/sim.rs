@@ -1,0 +1,816 @@
+//! The slot-driven WSN system simulator (paper §4).
+//!
+//! One simulator instance models one chain of logical positions (10 in
+//! every figure), optionally NVD4Q-multiplexed so each position is
+//! implemented by `M` physical clones. Time advances in RTC slots
+//! (default 12 s × 1500 slots = the paper's 5-hour window, in which 10
+//! always-on nodes would ideally deliver 15 000 data packages).
+//!
+//! # What happens in a slot
+//!
+//! 1. **Harvest** — each physical node integrates its power trace,
+//!    feeds the RTC capacitor first (charging priority), then builds
+//!    its slot energy budget through its front-end: FIOS nodes get a
+//!    90 %-efficient direct pool plus the capacitor; NOS nodes only
+//!    the capacitor round-trip.
+//! 2. **Wake** — nodes scheduled this slot (their clone phase) wake if
+//!    they can afford the activation threshold; a scheduled node that
+//!    cannot is a *failure* (energy depletion). Awake nodes capture one
+//!    data package; fog-capable nodes also enqueue its processing task.
+//! 3. **Balance** — the configured intra-chain balancer redistributes
+//!    fog tasks among the awake representatives using their Spendthrift
+//!    state; transfer traffic is charged.
+//! 4. **Compute** — fog tasks execute within each node's time and
+//!    energy budget (forward progress persists across slots on NVPs).
+//! 5. **Transmit** — nodes with ready packages open a radio session
+//!    (531 ms software init / 33 ms NVM restore / 1.9 ms NVRF start
+//!    depending on the system) and ship packages into the chain mesh;
+//!    the MAC layer relays transparently (§2.3), so delivery succeeds
+//!    with the measured per-hop probability compounded over the hop
+//!    count, and awake intermediate nodes are charged forwarding
+//!    airtime. Packages whose relay duty cannot be paid are lost.
+//! 6. **Slot end** — volatile nodes lose their queues; capacitors
+//!    leak; stored-energy traces are recorded.
+
+use crate::balance::{
+    ChainBalanceInput, DistributedBalancer, FogTask, LoadBalancer, NoBalancer, NodeBalanceState,
+    TreeBalancer,
+};
+use crate::metrics::NetworkMetrics;
+use crate::node::{NodeConfig, SystemKind};
+use neofog_energy::{PowerTrace, Rtc, Scenario, SuperCap, TraceGenerator};
+use neofog_net::slots::SlotSchedule;
+use neofog_nvp::SpendthriftPolicy;
+use neofog_rf::{LossModel, RfTimings};
+use neofog_types::{Duration, Energy, NodeId, Power, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Which balancer a simulation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BalancerKind {
+    /// No balancing at all.
+    None,
+    /// The baseline up-down tree balancer.
+    Tree,
+    /// The paper's distributed Algorithm-1 balancer.
+    Distributed,
+}
+
+impl BalancerKind {
+    /// Instantiates the balancer (the distributed one uses the slot
+    /// length as its `MAXTIME` call interval).
+    #[must_use]
+    pub fn build(self, slot_len: Duration) -> Box<dyn LoadBalancer> {
+        match self {
+            BalancerKind::None => Box::new(NoBalancer),
+            BalancerKind::Tree => Box::new(TreeBalancer::new()),
+            BalancerKind::Distributed => {
+                Box::new(DistributedBalancer::new(slot_len.as_secs_f64().ceil() as u64))
+            }
+        }
+    }
+
+    /// The default balancer of each evaluated system.
+    #[must_use]
+    pub fn default_for(system: SystemKind) -> Self {
+        match system {
+            SystemKind::NosVp => BalancerKind::None,
+            SystemKind::NosNvp => BalancerKind::Tree,
+            SystemKind::FiosNeoFog => BalancerKind::Distributed,
+        }
+    }
+}
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Node design under test.
+    pub system: SystemKind,
+    /// Intra-chain balancer.
+    pub balancer: BalancerKind,
+    /// Power-trace scenario.
+    pub scenario: Scenario,
+    /// Logical chain positions (the paper presents 10).
+    pub positions: usize,
+    /// NVD4Q multiplexing factor (1 = no virtualization).
+    pub multiplex: u32,
+    /// Number of RTC slots to simulate.
+    pub slots: u64,
+    /// Slot length.
+    pub slot_len: Duration,
+    /// Trace/loss random seed (the paper's "power profile" index).
+    pub seed: u64,
+    /// Per-node configuration.
+    pub node: NodeConfig,
+    /// Record per-slot stored energy (Figure 9) — memory-heavy.
+    pub trace_stored: bool,
+    /// Extra channel loss from weather (rainy scenarios).
+    pub weather_loss: f64,
+    /// Probability that a wake actually yields a usable sample; heavy
+    /// rain degrades the sensing itself ("total successful sampling
+    /// under the reduced power conditions reduces to 8000", §5.3).
+    pub sampling_success: f64,
+    /// Multiplier on every node's power trace (1.0 = the scenario's
+    /// nominal level; Figure 9 uses a bright daytime window).
+    pub income_scale: f64,
+}
+
+impl SimConfig {
+    /// The evaluation defaults: 10 positions, 1500 × 12 s slots
+    /// (5 hours, 15 000 ideal packages), system-default balancer.
+    #[must_use]
+    pub fn paper_default(system: SystemKind, scenario: Scenario, seed: u64) -> Self {
+        let mut node = NodeConfig::paper_default(system);
+        // The forest and bridge deployments run the heavier offloaded
+        // kernels (volumetric reconstruction / structural models); the
+        // mountain nodes run a lighter slide detector.
+        if matches!(scenario, Scenario::ForestIndependent | Scenario::BridgeDependent) {
+            node.package = crate::node::PackageSpec::heavy();
+        }
+        SimConfig {
+            system,
+            balancer: BalancerKind::default_for(system),
+            scenario,
+            positions: 10,
+            multiplex: 1,
+            slots: 1500,
+            slot_len: Duration::from_secs(12),
+            seed,
+            node,
+            trace_stored: false,
+            weather_loss: if scenario == Scenario::MountainRainy { 0.03 } else { 0.0 },
+            sampling_success: if scenario == Scenario::MountainRainy { 0.55 } else { 1.0 },
+            income_scale: 1.0,
+        }
+    }
+
+    /// Ideal package count: one per position per slot.
+    #[must_use]
+    pub fn ideal_packages(&self) -> u64 {
+        self.positions as u64 * self.slots
+    }
+}
+
+/// Maximum fog backlog a node admits (packages); the NV buffer sheds
+/// newer samples beyond this.
+const MAX_PENDING: usize = 8;
+
+/// One captured data package travelling through the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Package {
+    /// Index of the capturing physical node.
+    origin: usize,
+    /// Slot of capture.
+    created: u64,
+    /// Remaining fog instructions (0 = processed).
+    fog_remaining: u64,
+    /// Whether the fog task completed.
+    fog_done: bool,
+}
+
+/// One physical node's live state.
+struct NodeSim {
+    cfg: NodeConfig,
+    cap: SuperCap,
+    rtc: Rtc,
+    trace: PowerTrace,
+    schedule: SlotSchedule,
+    /// Logical chain position this node implements.
+    position: usize,
+    /// Packages awaiting fog processing (fog systems only).
+    pending: Vec<Package>,
+    /// Packages ready for transmission.
+    outbox: Vec<Package>,
+    rng: SimRng,
+}
+
+/// Per-slot spendable energy: a direct pool (FIOS) plus the capacitor
+/// behind a discharge regulator.
+struct SlotBudget {
+    direct_left: Energy,
+    direct_eff: f64,
+    discharge_eff: f64,
+}
+
+impl SlotBudget {
+    fn available(&self, cap: &SuperCap) -> Energy {
+        self.direct_left + cap.stored() * self.discharge_eff
+    }
+
+    /// Spends `amount` (at the load), direct pool first. Returns false
+    /// (spending nothing) if unaffordable.
+    fn spend(&mut self, cap: &mut SuperCap, amount: Energy) -> bool {
+        if self.available(cap) < amount {
+            return false;
+        }
+        let from_direct = amount.min(self.direct_left);
+        self.direct_left -= from_direct;
+        let rest = amount - from_direct;
+        if rest > Energy::ZERO {
+            let gross = rest / self.discharge_eff;
+            // Floating-point slack: available() said yes.
+            let drawn = cap.discharge_up_to(gross);
+            debug_assert!(drawn >= gross * 0.999);
+        }
+        true
+    }
+
+    /// Returns the unspent direct pool converted back to raw income.
+    fn leftover_income(&mut self) -> Energy {
+        let left = self.direct_left;
+        self.direct_left = Energy::ZERO;
+        if self.direct_eff > 0.0 {
+            left / self.direct_eff
+        } else {
+            left
+        }
+    }
+}
+
+/// Result of a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimResult {
+    /// The configuration that produced it.
+    pub config: SimConfig,
+    /// All counters.
+    pub metrics: NetworkMetrics,
+}
+
+impl SimResult {
+    /// Convenience: total delivered / ideal.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        self.metrics.total_processed() as f64 / self.config.ideal_packages() as f64
+    }
+}
+
+/// The simulator.
+pub struct Simulator {
+    cfg: SimConfig,
+    nodes: Vec<NodeSim>,
+    /// Physical node indices per logical position.
+    positions: Vec<Vec<usize>>,
+    balancer: Box<dyn LoadBalancer>,
+    loss: LossModel,
+    rf: RfTimings,
+    spendthrift: SpendthriftPolicy,
+    metrics: NetworkMetrics,
+    rng: SimRng,
+}
+
+impl Simulator {
+    /// Builds a simulator (generating per-node power traces).
+    #[must_use]
+    pub fn new(cfg: SimConfig) -> Self {
+        let physical = cfg.positions * cfg.multiplex as usize;
+        let mut gen = TraceGenerator::new(cfg.scenario, cfg.seed);
+        let total_time = Duration::from_micros(cfg.slot_len.as_micros() * cfg.slots);
+        let trace_dt = Duration::from_secs(1);
+        let mut rng = SimRng::seed_from(cfg.seed ^ 0x5EED);
+        let mut nodes = Vec::with_capacity(physical);
+        let mut positions: Vec<Vec<usize>> = vec![Vec::new(); cfg.positions];
+        for p in 0..cfg.positions {
+            for k in 0..cfg.multiplex {
+                let idx = nodes.len();
+                positions[p].push(idx);
+                let schedule = if cfg.multiplex == 1 {
+                    SlotSchedule::every_slot()
+                } else {
+                    SlotSchedule::new(cfg.multiplex, k)
+                };
+                let trace =
+                    gen.node_trace(idx as u64, total_time, trace_dt).scaled(cfg.income_scale);
+                let cap = SuperCap::new(cfg.node.cap_capacity)
+                    .with_charge_efficiency(0.65)
+                    .with_leak(cfg.node.cap_leak)
+                    .with_initial(cfg.node.cap_capacity * cfg.node.initial_charge);
+                let rtc = Rtc::new(Energy::from_millijoules(5.0), Power::from_microwatts(2.0));
+                nodes.push(NodeSim {
+                    cfg: cfg.node,
+                    cap,
+                    rtc,
+                    trace,
+                    schedule,
+                    position: p,
+                    pending: Vec::new(),
+                    outbox: Vec::new(),
+                    rng: rng.fork(idx as u64),
+                });
+            }
+        }
+        let loss = LossModel::paper_default().with_weather_loss(cfg.weather_loss);
+        let balancer = cfg.balancer.build(cfg.slot_len);
+        let metrics = NetworkMetrics::new(physical);
+        Simulator {
+            nodes,
+            positions,
+            balancer,
+            loss,
+            rf: RfTimings::paper_default(),
+            spendthrift: SpendthriftPolicy::paper_default(),
+            metrics,
+            rng: SimRng::seed_from(cfg.seed ^ 0xBA1A),
+            cfg,
+        }
+    }
+
+    /// Runs the whole simulation and returns the metrics.
+    #[must_use]
+    pub fn run(mut self) -> SimResult {
+        for slot in 0..self.cfg.slots {
+            self.step(slot);
+        }
+        SimResult { config: self.cfg, metrics: self.metrics }
+    }
+
+    /// Advances one slot.
+    fn step(&mut self, slot: u64) {
+        let slot_len = self.cfg.slot_len;
+        let t0 = Duration::from_micros(slot * slot_len.as_micros());
+        let t1 = t0 + slot_len;
+        let system = self.cfg.system;
+        let fe = self.cfg.node.front_end;
+        let n_phys = self.nodes.len();
+
+        let mut budgets: Vec<SlotBudget> = Vec::with_capacity(n_phys);
+        let mut awake = vec![false; n_phys];
+        let mut income_power = vec![Power::ZERO; n_phys];
+
+        // --- 1. Harvest + 2. Wake/capture -------------------------------
+        for i in 0..n_phys {
+            let node = &mut self.nodes[i];
+            let ambient = node.trace.energy_between(t0, t1);
+            let mut income = ambient * node.cfg.harvester_efficiency;
+            income_power[i] = Power::from_milliwatts(
+                income.as_nanojoules() / slot_len.as_micros() as f64,
+            );
+            // RTC priority charging (takes only what it needs).
+            income = node.rtc.charge_with_priority(income);
+            node.rtc.advance(slot_len);
+            if !node.rtc.is_synchronized() {
+                // Attempt a resynchronization with stored energy.
+                node.rtc.charge_with_priority(node.cap.discharge_up_to(
+                    Energy::from_millijoules(1.0),
+                ));
+                node.rtc.resynchronize(Energy::from_millijoules(0.5));
+            }
+
+            let mut budget = match fe.has_direct_channel() {
+                true => SlotBudget {
+                    direct_left: income * fe.direct_efficiency(),
+                    direct_eff: fe.direct_efficiency(),
+                    discharge_eff: fe.discharge_efficiency(),
+                },
+                false => {
+                    // NOS: income goes through the capacitor first.
+                    let rejected = node.cap.charge(income);
+                    self.metrics.nodes[i].rejected += rejected;
+                    SlotBudget {
+                        direct_left: Energy::ZERO,
+                        direct_eff: 0.0,
+                        discharge_eff: fe.discharge_efficiency(),
+                    }
+                }
+            };
+            self.metrics.nodes[i].harvested += income;
+
+            // Wake decision.
+            let scheduled = node.schedule.wakes_at(slot) && node.rtc.is_synchronized();
+            if scheduled {
+                if budget.available(&node.cap) >= system.wake_threshold() {
+                    budget.spend(&mut node.cap, system.wake_cost());
+                    awake[i] = true;
+                    self.metrics.nodes[i].wakeups += 1;
+                    // Capture one package (rain can spoil the sample).
+                    if !node.rng.chance(self.cfg.sampling_success) {
+                        budgets.push(budget);
+                        continue;
+                    }
+                    self.metrics.nodes[i].captured += 1;
+                    let pkg = Package {
+                        origin: i,
+                        created: slot,
+                        fog_remaining: node.cfg.package.fog_instructions,
+                        fog_done: false,
+                    };
+                    if system.is_fog_capable() {
+                        // Admission control: the NV buffer holds a
+                        // bounded backlog; beyond it new samples are
+                        // discarded ("if the node lacks energy to
+                        // process ... the sampled data are discarded").
+                        if node.pending.len() < MAX_PENDING {
+                            node.pending.push(pkg);
+                        } else {
+                            self.metrics.nodes[i].dropped += 1;
+                        }
+                    } else {
+                        node.outbox.push(pkg);
+                    }
+                } else {
+                    self.metrics.nodes[i].failures += 1;
+                }
+            }
+            budgets.push(budget);
+        }
+
+        // --- 3. Balance fog tasks among awake representatives ----------
+        if system.is_fog_capable() && !matches!(self.cfg.balancer, BalancerKind::None) {
+            self.balance_step(slot, &mut budgets, &awake, &income_power);
+        }
+
+        // --- 4. Fog execution ------------------------------------------
+        if system.is_fog_capable() {
+            for i in 0..n_phys {
+                self.compute_step(i, slot, &mut budgets[i], income_power[i], slot_len);
+            }
+        }
+
+        // Stale pending packages: a node flush with energy ships them
+        // raw to the cloud; otherwise "the sampled data are discarded"
+        // (§5.1).
+        let stale_after = 20;
+        for i in 0..n_phys {
+            let node = &mut self.nodes[i];
+            let fog_len = node.cfg.package.fog_instructions;
+            // Packages with execution progress are never shed — killing
+            // a half-finished head would waste the energy already sunk.
+            let (stale, keep): (Vec<Package>, Vec<Package>) =
+                node.pending.drain(..).partition(|p| {
+                    p.fog_remaining == fog_len
+                        && slot.saturating_sub(p.created) > stale_after
+                });
+            node.pending = keep;
+            if node.cap.fraction() > 0.6 {
+                node.outbox.extend(stale);
+            } else {
+                self.metrics.nodes[i].dropped += stale.len() as u64;
+            }
+        }
+
+        // --- 5. Transmission -------------------------------------------
+        self.transmit_step(slot, &mut budgets, &awake);
+
+        // --- 6. Slot end -------------------------------------------------
+        for (i, budget) in budgets.iter_mut().enumerate().take(n_phys) {
+            let node = &mut self.nodes[i];
+            // Unspent direct income charges the capacitor.
+            let leftover = budget.leftover_income();
+            if leftover > Energy::ZERO {
+                let rejected = node.cap.charge(leftover);
+                self.metrics.nodes[i].rejected += rejected;
+            }
+            node.cap.leak(slot_len);
+            if !system.retains_state() {
+                // Volatile node: queues evaporate at power-down.
+                let lost = node.pending.len() + node.outbox.len();
+                self.metrics.nodes[i].dropped += lost as u64;
+                node.pending.clear();
+                node.outbox.clear();
+            }
+            if self.cfg.trace_stored {
+                self.metrics.nodes[i]
+                    .stored_series
+                    .push(node.cap.stored().as_millijoules() as f32);
+            }
+        }
+    }
+
+    /// Builds the balance input, runs the balancer, applies the moves
+    /// and charges transfer costs.
+    fn balance_step(
+        &mut self,
+        _slot: u64,
+        budgets: &mut [SlotBudget],
+        awake: &[bool],
+        income_power: &[Power],
+    ) {
+        // One representative per position: the awake clone (if any).
+        let reps: Vec<Option<usize>> = self
+            .positions
+            .iter()
+            .map(|phys| phys.iter().copied().find(|&i| awake[i]))
+            .collect();
+        let mut chain_nodes = Vec::with_capacity(self.positions.len());
+        let mut rep_map = Vec::with_capacity(self.positions.len());
+        for rep in &reps {
+            let (state, idx) = match rep {
+                Some(i) => {
+                    let node = &self.nodes[*i];
+                    let level_income = income_power[*i];
+                    let radio = self.cfg.node.radio;
+                    let tx_reserve = radio.session_cost(&self.rf)
+                        + radio.packet_cost(&self.rf, node.cfg.package.processed_bytes) * 2.0;
+                    let spare =
+                        budgets[*i].available(&node.cap).saturating_sub(tx_reserve);
+                    let tasks: Vec<FogTask> = node
+                        .pending
+                        .iter()
+                        .enumerate()
+                        .map(|(k, p)| {
+                            FogTask::new(p.fog_remaining, (*i as u64) << 32 | k as u64)
+                        })
+                        .collect();
+                    (
+                        NodeBalanceState {
+                            node: NodeId::new(*i as u32),
+                            spare_energy: spare,
+                            efficiency: self.spendthrift.efficiency(level_income),
+                            throughput: self.spendthrift.throughput(level_income),
+                            tasks,
+                            alive: true,
+                        },
+                        Some(*i),
+                    )
+                }
+                None => (
+                    NodeBalanceState {
+                        node: NodeId::new(u32::MAX),
+                        spare_energy: Energy::ZERO,
+                        efficiency: 0.0,
+                        throughput: 0.0,
+                        tasks: Vec::new(),
+                        alive: false,
+                    },
+                    None,
+                ),
+            };
+            chain_nodes.push(state);
+            rep_map.push(idx);
+        }
+        let mut input = ChainBalanceInput { nodes: chain_nodes };
+        let report = self.balancer.balance(&mut input, &mut self.rng);
+        self.metrics.balance_interruptions += report.interrupted_regions;
+        self.metrics.balance_tasks_moved += report.tasks_moved;
+        self.metrics.balance_transfer_hops += report.transfer_hops;
+
+        // Apply the assignment: rebuild each representative's pending
+        // queue from the post-balance task tags (a tag names the
+        // original holder and its queue index).
+        let all_packages: Vec<Vec<Package>> =
+            self.nodes.iter_mut().map(|n| std::mem::take(&mut n.pending)).collect();
+        for (pos, state) in input.nodes.iter().enumerate() {
+            let Some(dest) = rep_map[pos] else { continue };
+            for task in &state.tasks {
+                let src = (task.tag >> 32) as usize;
+                let k = (task.tag & 0xFFFF_FFFF) as usize;
+                let pkg = all_packages[src][k];
+                self.nodes[dest].pending.push(pkg);
+            }
+        }
+        // Sleeping clones keep their own pending packages (they were
+        // not offered to the balancer).
+        for (i, packages) in all_packages.into_iter().enumerate() {
+            if !awake[i] {
+                self.nodes[i].pending.extend(packages);
+            }
+        }
+
+        // Charge transfer costs: each hop moves one raw package.
+        if report.transfer_hops > 0 {
+            let per_hop = self.cfg.node.radio.packet_cost(&self.rf, self.cfg.node.package.raw_bytes)
+                + self.cfg.system.rx_cost(&self.rf, self.cfg.node.package.raw_bytes);
+            let participants: Vec<usize> =
+                (0..self.nodes.len()).filter(|&i| awake[i]).collect();
+            if !participants.is_empty() {
+                let share = per_hop * report.transfer_hops as f64
+                    / participants.len() as f64;
+                for i in participants {
+                    let node = &mut self.nodes[i];
+                    budgets[i].spend(&mut node.cap, share);
+                    self.metrics.nodes[i].radio_energy += share;
+                }
+            }
+        }
+    }
+
+    /// Executes fog tasks on node `i` within its slot budget.
+    fn compute_step(
+        &mut self,
+        i: usize,
+        _slot: u64,
+        budget: &mut SlotBudget,
+        income: Power,
+        slot_len: Duration,
+    ) {
+        let node = &mut self.nodes[i];
+        if node.pending.is_empty() {
+            return;
+        }
+        // Spendthrift samples both income power and the stored-energy
+        // level (§2.2/§4): the effective sustainable power this slot is
+        // the income plus what the capacitor could contribute, so a
+        // node that accumulated for several sleeping slots (NVD4Q
+        // clones) boosts its frequency when it finally activates.
+        // The capacitor term is damped: the store must last beyond this
+        // one slot, so Spendthrift only banks half of it on the level
+        // decision.
+        let effective = income
+            + Power::from_milliwatts(
+                0.5 * budget.available(&node.cap).as_nanojoules()
+                    / slot_len.as_micros() as f64,
+            );
+        let lvl = self.spendthrift.choose(effective);
+        let (epi, throughput) =
+            (lvl.energy_per_inst, self.spendthrift.throughput(effective));
+        // Keep a transmit reserve so computing never starves shipping.
+        let reserve = node.cfg.radio.session_cost(&self.rf)
+            + node.cfg.radio.packet_cost(&self.rf, node.cfg.package.processed_bytes);
+        let mut time_left = (throughput * slot_len.as_secs_f64()) as u64;
+        let mut done_any = false;
+        while time_left > 0 {
+            let Some(pkg) = node.pending.first_mut() else { break };
+            let energy_afford = budget
+                .available(&node.cap)
+                .saturating_sub(reserve)
+                .as_nanojoules()
+                / epi.as_nanojoules();
+            let run = pkg
+                .fog_remaining
+                .min(time_left)
+                .min(energy_afford.max(0.0) as u64);
+            if run == 0 {
+                break;
+            }
+            let cost = epi * run as f64;
+            if !budget.spend(&mut node.cap, cost) {
+                break;
+            }
+            self.metrics.nodes[i].compute_energy += cost;
+            pkg.fog_remaining -= run;
+            time_left -= run;
+            if pkg.fog_remaining == 0 {
+                pkg.fog_done = true;
+                let finished = node.pending.remove(0);
+                node.outbox.push(finished);
+                self.metrics.nodes[i].tasks_executed += 1;
+                done_any = true;
+            }
+        }
+        let _ = done_any;
+    }
+
+    /// Ships outboxes into the chain mesh.
+    fn transmit_step(&mut self, _slot: u64, budgets: &mut [SlotBudget], awake: &[bool]) {
+        let radio = self.cfg.node.radio;
+        let session = radio.session_cost(&self.rf);
+        let n_pos = self.positions.len();
+        // Forwarding duty (airtime) accumulated per position this slot.
+        let mut forward_bytes: Vec<u64> = vec![0; n_pos];
+
+        for i in 0..self.nodes.len() {
+            if !awake[i] || self.nodes[i].outbox.is_empty() {
+                continue;
+            }
+            let position = self.nodes[i].position;
+            // Processed packages first: smaller and more valuable.
+            self.nodes[i].outbox.sort_by_key(|p| !p.fog_done);
+            // Open the session only when the first packet is payable
+            // too — bringing the radio up and then browning out before
+            // anything is sent would waste the whole session.
+            let first = self.nodes[i].outbox[0];
+            let first_bytes = if first.fog_done {
+                self.nodes[i].cfg.package.processed_bytes
+            } else {
+                self.nodes[i].cfg.package.raw_bytes
+            };
+            let first_cost = radio.packet_cost(&self.rf, first_bytes);
+            if budgets[i].available(&self.nodes[i].cap) < session + first_cost {
+                continue;
+            }
+            if !budgets[i].spend(&mut self.nodes[i].cap, session) {
+                continue;
+            }
+            self.metrics.nodes[i].radio_energy += session;
+            let hops = position as u32; // hops to the sink edge
+            while let Some(pkg) = self.nodes[i].outbox.first().copied() {
+                let bytes = if pkg.fog_done {
+                    self.nodes[i].cfg.package.processed_bytes
+                } else {
+                    self.nodes[i].cfg.package.raw_bytes
+                };
+                let cost = radio.packet_cost(&self.rf, bytes);
+                if !budgets[i].spend(&mut self.nodes[i].cap, cost) {
+                    break;
+                }
+                self.metrics.nodes[i].radio_energy += cost;
+                self.nodes[i].outbox.remove(0);
+                // End-to-end delivery through the transparent MAC:
+                // per-hop loss compounded over the chain.
+                let delivered = {
+                    let p = self.loss.chain_success(hops + 1);
+                    self.nodes[i].rng.chance(p)
+                };
+                // Relay duty accrues at intermediate positions.
+                for pb in forward_bytes.iter_mut().take(position) {
+                    *pb += u64::from(bytes);
+                }
+                let origin = pkg.origin;
+                if delivered {
+                    if pkg.fog_done {
+                        self.metrics.nodes[origin].delivered_fog += 1;
+                    } else {
+                        self.metrics.nodes[origin].delivered_cloud += 1;
+                    }
+                } else {
+                    self.metrics.nodes[origin].dropped += 1;
+                }
+            }
+        }
+
+        // Charge forwarding airtime to awake representatives of the
+        // relay positions (RX + TX per byte).
+        for (pos, &bytes) in forward_bytes.iter().enumerate() {
+            if bytes == 0 {
+                continue;
+            }
+            let Some(rep) = self.positions[pos].iter().copied().find(|&i| awake[i]) else {
+                continue;
+            };
+            let per_byte = self.rf.active_power
+                * Duration::from_micros(2 * self.rf.on_air_per_byte_us);
+            let duty = per_byte * bytes as f64;
+            let node = &mut self.nodes[rep];
+            if budgets[rep].spend(&mut node.cap, duty) {
+                self.metrics.nodes[rep].radio_energy += duty;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(system: SystemKind) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(system, Scenario::ForestIndependent, 1);
+        cfg.slots = 150;
+        cfg
+    }
+
+    #[test]
+    fn runs_and_counts_are_bounded() {
+        for system in SystemKind::ALL {
+            let result = Simulator::new(quick_cfg(system)).run();
+            let m = &result.metrics;
+            let ideal = result.config.ideal_packages();
+            assert!(m.total_wakeups() + m.total_failures() <= ideal);
+            assert!(m.total_captured() <= m.total_wakeups());
+            assert!(
+                m.total_processed() <= m.total_captured(),
+                "{system:?}: processed {} > captured {}",
+                m.total_processed(),
+                m.total_captured()
+            );
+        }
+    }
+
+    #[test]
+    fn vp_never_fog_processes() {
+        let result = Simulator::new(quick_cfg(SystemKind::NosVp)).run();
+        assert_eq!(result.metrics.fog_processed(), 0);
+    }
+
+    #[test]
+    fn neofog_mostly_fog_processes() {
+        let result = Simulator::new(quick_cfg(SystemKind::FiosNeoFog)).run();
+        let m = &result.metrics;
+        assert!(m.total_processed() > 0, "nothing delivered");
+        assert!(m.fog_share() > 0.5, "fog share {}", m.fog_share());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Simulator::new(quick_cfg(SystemKind::FiosNeoFog)).run();
+        let b = Simulator::new(quick_cfg(SystemKind::FiosNeoFog)).run();
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg2 = quick_cfg(SystemKind::FiosNeoFog);
+        cfg2.seed = 99;
+        let a = Simulator::new(quick_cfg(SystemKind::FiosNeoFog)).run();
+        let b = Simulator::new(cfg2).run();
+        assert_ne!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn stored_trace_recorded_when_enabled() {
+        let mut cfg = quick_cfg(SystemKind::FiosNeoFog);
+        cfg.trace_stored = true;
+        let result = Simulator::new(cfg).run();
+        assert_eq!(result.metrics.nodes[0].stored_series.len(), 150);
+    }
+
+    #[test]
+    fn multiplexing_reduces_per_node_wakeups() {
+        let mut cfg = quick_cfg(SystemKind::FiosNeoFog);
+        cfg.multiplex = 3;
+        let result = Simulator::new(cfg).run();
+        // 30 physical nodes, each scheduled 1/3 of slots.
+        assert_eq!(result.metrics.nodes.len(), 30);
+        for n in &result.metrics.nodes {
+            assert!(n.wakeups + n.failures <= 50);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Activation timelines (paper Figure 1 and Figure 4).
+//!
+//! Reconstructs the per-phase timing of one node activation under each
+//! system design, using the measured constants from the substrates.
+
+use crate::node::SystemKind;
+use neofog_rf::RfTimings;
+use neofog_types::Duration;
+use serde::Serialize;
+
+/// One phase of an activation timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TimelinePhase {
+    /// Phase name as it appears in Figure 4.
+    pub name: &'static str,
+    /// Phase duration.
+    pub duration: Duration,
+    /// Whether this phase can run on intermittent (direct-channel)
+    /// power rather than stored energy — the dashed boxes of Figure 4.
+    pub on_intermittent_power: bool,
+}
+
+/// An activation timeline for one system design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Timeline {
+    /// The system design.
+    pub system: SystemKind,
+    /// Phases in execution order.
+    pub phases: Vec<TimelinePhase>,
+}
+
+impl Timeline {
+    /// Builds the Figure 4 timeline of a system (data transmission of
+    /// `payload` bytes).
+    #[must_use]
+    pub fn figure4(system: SystemKind, payload: u32) -> Self {
+        let rf = RfTimings::paper_default();
+        let phases = match system {
+            SystemKind::NosVp => vec![
+                TimelinePhase {
+                    name: "VP restart init.",
+                    duration: Duration::from_micros(300),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Sensors sampling",
+                    duration: Duration::from_millis(1),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Control & basic computing",
+                    duration: Duration::from_millis(2),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Software RF initialization",
+                    duration: Duration::from_millis(15),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Rebuild RF (channels, join route)",
+                    duration: Duration::from_millis(100),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Transmitting",
+                    duration: rf.software_tx_time(payload),
+                    on_intermittent_power: false,
+                },
+            ],
+            SystemKind::NosNvp => vec![
+                TimelinePhase {
+                    name: "NVP restore",
+                    duration: Duration::from_micros(32),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Sensors sampling",
+                    duration: Duration::from_millis(1),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Control & basic computing",
+                    duration: Duration::from_millis(2),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Read NVM to initialize RF + transmit",
+                    duration: Duration::from_millis(33),
+                    on_intermittent_power: false,
+                },
+            ],
+            SystemKind::FiosNeoFog => vec![
+                TimelinePhase {
+                    name: "NVP restore",
+                    duration: Duration::from_micros(7),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Sensors sampling",
+                    duration: Duration::from_millis(1),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Complex fog computing moved from cloud",
+                    duration: Duration::from_secs(30),
+                    on_intermittent_power: true,
+                },
+                TimelinePhase {
+                    name: "Compression",
+                    duration: Duration::from_secs(2),
+                    on_intermittent_power: true,
+                },
+                TimelinePhase {
+                    name: "NVRF restore",
+                    duration: Duration::from_micros(2),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "RF init.",
+                    duration: Duration::from_micros(1_200),
+                    on_intermittent_power: false,
+                },
+                TimelinePhase {
+                    name: "Transmitting",
+                    duration: rf.nvrf_tx_time(payload),
+                    on_intermittent_power: false,
+                },
+            ],
+        };
+        Timeline { system, phases }
+    }
+
+    /// Total activation latency.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// Latency of the phases that must run from stored energy.
+    #[must_use]
+    pub fn stored_energy_time(&self) -> Duration {
+        self.phases
+            .iter()
+            .filter(|p| !p.on_intermittent_power)
+            .map(|p| p.duration)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vp_startup_dwarfs_nvp() {
+        let vp = Timeline::figure4(SystemKind::NosVp, 8);
+        let nvp = Timeline::figure4(SystemKind::NosNvp, 8);
+        // VP: 15-100 ms software init + rebuild; NVP: 33 ms session.
+        assert!(vp.total() > nvp.total() * 10);
+    }
+
+    #[test]
+    fn neofog_stored_energy_window_is_tiny() {
+        let neo = Timeline::figure4(SystemKind::FiosNeoFog, 8);
+        // Fog computing runs on intermittent power; the capacitor only
+        // needs to cover milliseconds of radio work.
+        assert!(neo.stored_energy_time() < Duration::from_millis(10));
+        assert!(neo.total() > Duration::from_secs(30));
+    }
+
+    #[test]
+    fn figure1_restore_constants() {
+        let neo = Timeline::figure4(SystemKind::FiosNeoFog, 8);
+        assert_eq!(neo.phases[0].duration, Duration::from_micros(7));
+        let nvp = Timeline::figure4(SystemKind::NosNvp, 8);
+        assert_eq!(nvp.phases[0].duration, Duration::from_micros(32));
+        let vp = Timeline::figure4(SystemKind::NosVp, 8);
+        assert_eq!(vp.phases[0].duration, Duration::from_micros(300));
+    }
+}

@@ -1,0 +1,152 @@
+//! Ambient-energy harvesters (paper §2.1).
+//!
+//! Four source types are "widely available and relatively easy for
+//! commodity systems to harvest": solar, RF, piezoelectric and thermal.
+//! Front-end circuit design is specific to the AC or DC character of
+//! the source; here that difference shows up as a conversion-efficiency
+//! factor applied to the ambient trace.
+
+use crate::trace::PowerTrace;
+use neofog_types::{Duration, Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// The ambient energy source a node harvests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HarvesterKind {
+    /// Photovoltaic cell (DC).
+    Solar,
+    /// RF antenna + rectifier (AC, e.g. TV RF or Wi-Fi).
+    Rf,
+    /// Piezoelectric element on a vibrating substrate (AC).
+    Piezo,
+    /// Thermoelectric across a thermal gradient (DC).
+    Thermal,
+}
+
+impl HarvesterKind {
+    /// `true` when the raw source is AC and needs rectification.
+    #[must_use]
+    pub fn is_ac(self) -> bool {
+        matches!(self, HarvesterKind::Rf | HarvesterKind::Piezo)
+    }
+
+    /// Typical conversion efficiency of the matching/rectifier stage.
+    ///
+    /// DC sources only pay impedance-matching losses; AC sources pay
+    /// the rectifier too (cf. Chaour et al. on rectifier optimization).
+    #[must_use]
+    pub fn conversion_efficiency(self) -> f64 {
+        match self {
+            HarvesterKind::Solar => 0.85,
+            HarvesterKind::Thermal => 0.80,
+            HarvesterKind::Rf => 0.60,
+            HarvesterKind::Piezo => 0.65,
+        }
+    }
+}
+
+/// A harvester: an ambient source kind plus its conversion stage.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_energy::{Harvester, HarvesterKind};
+/// use neofog_types::Power;
+///
+/// let h = Harvester::new(HarvesterKind::Solar);
+/// let eff = h.effective_power(Power::from_milliwatts(10.0));
+/// assert!((eff.as_milliwatts() - 8.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Harvester {
+    kind: HarvesterKind,
+    efficiency: f64,
+}
+
+impl Harvester {
+    /// Creates a harvester with the kind's default efficiency.
+    #[must_use]
+    pub fn new(kind: HarvesterKind) -> Self {
+        Harvester { kind, efficiency: kind.conversion_efficiency() }
+    }
+
+    /// Overrides the conversion efficiency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eta` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_efficiency(mut self, eta: f64) -> Self {
+        assert!(eta > 0.0 && eta <= 1.0, "efficiency must be in (0, 1]");
+        self.efficiency = eta;
+        self
+    }
+
+    /// The source kind.
+    #[must_use]
+    pub fn kind(&self) -> HarvesterKind {
+        self.kind
+    }
+
+    /// The conversion efficiency in use.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        self.efficiency
+    }
+
+    /// Power available at the front-end for a given ambient power.
+    #[must_use]
+    pub fn effective_power(&self, ambient: Power) -> Power {
+        (ambient * self.efficiency).max_zero()
+    }
+
+    /// Energy harvested from an ambient trace over `[t0, t1)`.
+    #[must_use]
+    pub fn harvest(&self, trace: &PowerTrace, t0: Duration, t1: Duration) -> Energy {
+        trace.energy_between(t0, t1) * self.efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ac_sources_pay_rectifier_losses() {
+        assert!(HarvesterKind::Rf.is_ac());
+        assert!(HarvesterKind::Piezo.is_ac());
+        assert!(!HarvesterKind::Solar.is_ac());
+        assert!(!HarvesterKind::Thermal.is_ac());
+        assert!(
+            HarvesterKind::Rf.conversion_efficiency()
+                < HarvesterKind::Solar.conversion_efficiency()
+        );
+    }
+
+    #[test]
+    fn effective_power_scales_ambient() {
+        let h = Harvester::new(HarvesterKind::Thermal).with_efficiency(0.5);
+        assert_eq!(
+            h.effective_power(Power::from_milliwatts(4.0)),
+            Power::from_milliwatts(2.0)
+        );
+    }
+
+    #[test]
+    fn harvest_integrates_trace() {
+        let h = Harvester::new(HarvesterKind::Solar).with_efficiency(0.5);
+        let t = PowerTrace::constant(
+            Power::from_milliwatts(10.0),
+            Duration::from_secs(1),
+            Duration::from_millis(10),
+        );
+        let e = h.harvest(&t, Duration::ZERO, Duration::from_secs(1));
+        assert!((e.as_millijoules() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "efficiency must be in (0, 1]")]
+    fn rejects_bad_efficiency() {
+        let _ = Harvester::new(HarvesterKind::Solar).with_efficiency(1.5);
+    }
+}

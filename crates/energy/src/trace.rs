@@ -1,0 +1,465 @@
+//! Piecewise-constant power traces and the paper's synthetic generators.
+//!
+//! The NEOFog evaluation (§5.2) drives every node with a 5-hour power
+//! trace. Three recipes are used:
+//!
+//! * **Independent** (forest fire monitoring, Figure 10): each node's
+//!   trace is a random concatenation of measured segments (full sun,
+//!   leaf shade, cloud, wind flicker), so neighbouring nodes are
+//!   effectively uncorrelated.
+//! * **Dependent** (bridge monitoring, Figure 11): all nodes share one
+//!   base diurnal curve; each node applies ~30 % random variance.
+//! * **Rainy** (mountain-slide monitoring, Figure 13): very low income
+//!   with occasional dimming, shared weather (dependent).
+
+use neofog_types::{Duration, Power, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant power signal sampled on a fixed grid.
+///
+/// The value of sample `i` holds on `[i·dt, (i+1)·dt)`. Beyond the end
+/// of the trace the power is zero.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerTrace {
+    dt: Duration,
+    samples: Vec<Power>,
+}
+
+impl PowerTrace {
+    /// Creates a trace from explicit samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is zero.
+    #[must_use]
+    pub fn from_samples(dt: Duration, samples: Vec<Power>) -> Self {
+        assert!(!dt.is_zero(), "sample interval must be positive");
+        PowerTrace { dt, samples }
+    }
+
+    /// Creates a constant trace of the given total duration (rounded up
+    /// to a whole number of samples).
+    #[must_use]
+    pub fn constant(power: Power, total: Duration, dt: Duration) -> Self {
+        assert!(!dt.is_zero(), "sample interval must be positive");
+        let n = total.as_micros().div_ceil(dt.as_micros());
+        PowerTrace { dt, samples: vec![power; n as usize] }
+    }
+
+    /// Builds a trace by evaluating `f` at each sample midpoint.
+    #[must_use]
+    pub fn from_fn(total: Duration, dt: Duration, mut f: impl FnMut(Duration) -> Power) -> Self {
+        assert!(!dt.is_zero(), "sample interval must be positive");
+        let n = total.as_micros().div_ceil(dt.as_micros());
+        let samples = (0..n)
+            .map(|i| f(Duration::from_micros(i * dt.as_micros() + dt.as_micros() / 2)))
+            .collect();
+        PowerTrace { dt, samples }
+    }
+
+    /// The sampling interval.
+    #[must_use]
+    pub fn dt(self: &PowerTrace) -> Duration {
+        self.dt
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the trace has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Total covered duration.
+    #[must_use]
+    pub fn duration(&self) -> Duration {
+        Duration::from_micros(self.dt.as_micros() * self.samples.len() as u64)
+    }
+
+    /// The raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[Power] {
+        &self.samples
+    }
+
+    /// Instantaneous power at elapsed time `t` (zero beyond the end).
+    #[must_use]
+    pub fn power_at(&self, t: Duration) -> Power {
+        let idx = (t.as_micros() / self.dt.as_micros()) as usize;
+        self.samples.get(idx).copied().unwrap_or(Power::ZERO)
+    }
+
+    /// Exact integral of the trace over `[t0, t1)`, in energy.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `t0 > t1`.
+    #[must_use]
+    pub fn energy_between(&self, t0: Duration, t1: Duration) -> neofog_types::Energy {
+        debug_assert!(t0 <= t1, "interval must be ordered");
+        let mut total = neofog_types::Energy::ZERO;
+        let dt_us = self.dt.as_micros();
+        let mut cursor = t0.as_micros();
+        let end = t1.as_micros().min(self.duration().as_micros());
+        while cursor < end {
+            let idx = (cursor / dt_us) as usize;
+            let seg_end = ((cursor / dt_us) + 1) * dt_us;
+            let span = seg_end.min(end) - cursor;
+            total += self.samples[idx] * Duration::from_micros(span);
+            cursor = seg_end;
+        }
+        total
+    }
+
+    /// Mean power over the whole trace.
+    #[must_use]
+    pub fn mean_power(&self) -> Power {
+        if self.samples.is_empty() {
+            return Power::ZERO;
+        }
+        let sum: f64 = self.samples.iter().map(|p| p.as_milliwatts()).sum();
+        Power::from_milliwatts(sum / self.samples.len() as f64)
+    }
+
+    /// Returns a copy with every sample multiplied by `factor`.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> PowerTrace {
+        PowerTrace {
+            dt: self.dt,
+            samples: self
+                .samples
+                .iter()
+                .map(|p| (*p * factor).max_zero())
+                .collect(),
+        }
+    }
+
+    /// Appends another trace (must share the same `dt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample intervals differ.
+    pub fn extend(&mut self, other: &PowerTrace) {
+        assert_eq!(self.dt, other.dt, "sample intervals must match to concatenate");
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// The deployment scenarios evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Forest fire monitoring: ample income with large, effectively
+    /// independent variance (leaves moving in wind). Figure 10.
+    ForestIndependent,
+    /// Bridge monitoring: ample income, strongly correlated across
+    /// nodes (same sky). Figure 11.
+    BridgeDependent,
+    /// Mountain-slide monitoring on a sunny day: high power, large
+    /// independent variance (aerial dispersion into sun/shade).
+    /// Figure 12.
+    MountainSunny,
+    /// Mountain-slide monitoring in heavy rain: very low, dependent
+    /// income. Figure 13.
+    MountainRainy,
+}
+
+impl Scenario {
+    /// `true` when node incomes are correlated (share a base curve).
+    #[must_use]
+    pub fn is_dependent(self) -> bool {
+        matches!(self, Scenario::BridgeDependent | Scenario::MountainRainy)
+    }
+
+    /// Nominal mean harvest power for the scenario.
+    #[must_use]
+    pub fn mean_power(self) -> Power {
+        match self {
+            Scenario::ForestIndependent => Power::from_milliwatts(2.4),
+            Scenario::BridgeDependent => Power::from_milliwatts(2.4),
+            Scenario::MountainSunny => Power::from_milliwatts(4.4),
+            Scenario::MountainRainy => Power::from_milliwatts(0.45),
+        }
+    }
+
+    /// Per-node multiplicative variance applied by the generator.
+    #[must_use]
+    pub fn variance(self) -> f64 {
+        match self {
+            Scenario::ForestIndependent => 0.9,
+            Scenario::BridgeDependent => 0.3,
+            Scenario::MountainSunny => 0.8,
+            Scenario::MountainRainy => 0.3,
+        }
+    }
+}
+
+/// One entry in the measured-segment library used to synthesize
+/// independent traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Segment {
+    mean: f64,
+    jitter: f64,
+    len_samples: usize,
+}
+
+/// Generates per-node power traces following the paper's recipes.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_energy::{Scenario, TraceGenerator};
+/// use neofog_types::Duration;
+///
+/// let mut gen = TraceGenerator::new(Scenario::ForestIndependent, 42);
+/// let traces = gen.node_traces(10, Duration::from_mins(30), Duration::from_secs(1));
+/// assert_eq!(traces.len(), 10);
+/// assert_eq!(traces[0].duration(), Duration::from_mins(30));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    scenario: Scenario,
+    rng: SimRng,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for a scenario with a deterministic seed.
+    #[must_use]
+    pub fn new(scenario: Scenario, seed: u64) -> Self {
+        TraceGenerator { scenario, rng: SimRng::seed_from(seed) }
+    }
+
+    /// The scenario this generator produces.
+    #[must_use]
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// Generates `n` node traces of the given duration and resolution.
+    ///
+    /// Independent scenarios concatenate segments per node; dependent
+    /// scenarios build one base curve and perturb it per node.
+    #[must_use]
+    pub fn node_traces(&mut self, n: usize, total: Duration, dt: Duration) -> Vec<PowerTrace> {
+        if self.scenario.is_dependent() {
+            let base = self.base_curve(total, dt);
+            (0..n).map(|i| self.perturb(&base, i as u64)).collect()
+        } else {
+            (0..n).map(|i| self.independent_trace(total, dt, i as u64)).collect()
+        }
+    }
+
+    /// Generates a single node trace (index selects the node's stream).
+    #[must_use]
+    pub fn node_trace(&mut self, index: u64, total: Duration, dt: Duration) -> PowerTrace {
+        if self.scenario.is_dependent() {
+            let base = self.base_curve(total, dt);
+            self.perturb(&base, index)
+        } else {
+            self.independent_trace(total, dt, index)
+        }
+    }
+
+    fn segment_library(&self) -> Vec<Segment> {
+        let mean = self.scenario.mean_power().as_milliwatts();
+        let var = self.scenario.variance();
+        // Segment means spread around the scenario mean by the
+        // scenario's variance; lengths of 20–120 samples mimic passing
+        // clouds / moving leaves on a seconds-to-minutes timescale.
+        vec![
+            Segment { mean: mean * (1.0 + var), jitter: 0.10, len_samples: 60 },
+            Segment { mean, jitter: 0.15, len_samples: 90 },
+            Segment { mean: mean * (1.0 - 0.6 * var), jitter: 0.20, len_samples: 45 },
+            Segment { mean: mean * (1.0 - var).max(0.05), jitter: 0.25, len_samples: 30 },
+            Segment { mean: mean * (1.0 + 0.5 * var), jitter: 0.10, len_samples: 120 },
+        ]
+    }
+
+    fn independent_trace(&mut self, total: Duration, dt: Duration, stream: u64) -> PowerTrace {
+        let mut rng = self.rng.fork(stream.wrapping_mul(2) + 1);
+        let library = self.segment_library();
+        let n = total.as_micros().div_ceil(dt.as_micros());
+        let mut samples = Vec::with_capacity(n as usize);
+        while (samples.len() as u64) < n {
+            let seg = *rng.pick(&library).expect("library is non-empty");
+            let take = seg.len_samples.min((n as usize) - samples.len());
+            for _ in 0..take {
+                let p = seg.mean * (1.0 + seg.jitter * (2.0 * rng.next_f64() - 1.0));
+                samples.push(Power::from_milliwatts(p.max(0.0)));
+            }
+        }
+        PowerTrace::from_samples(dt, samples)
+    }
+
+    fn base_curve(&mut self, total: Duration, dt: Duration) -> PowerTrace {
+        // A deterministic diurnal-style arc for the shared base: the
+        // trace covers a daytime window, so power rises to a plateau
+        // and dips with shared "weather" episodes.
+        let mean = self.scenario.mean_power().as_milliwatts();
+        let mut rng = self.rng.fork(0xBA5E);
+        let n = total.as_micros().div_ceil(dt.as_micros());
+        let mut samples = Vec::with_capacity(n as usize);
+        let mut weather = 1.0_f64;
+        for i in 0..n {
+            let phase = i as f64 / n.max(1) as f64;
+            // Half-sine daytime arc, normalized to unit mean so the
+            // scenario's nominal power is preserved (raw arc averages
+            // 0.55 + 0.45·2/π ≈ 0.836).
+            let arc = (0.55 + 0.45 * (std::f64::consts::PI * phase).sin()) / 0.8365;
+            // Slow shared weather random walk around unit mean.
+            weather = (weather + 0.02 * (2.0 * rng.next_f64() - 1.0)).clamp(0.7, 1.3);
+            samples.push(Power::from_milliwatts((mean * arc * weather).max(0.0)));
+        }
+        PowerTrace::from_samples(dt, samples)
+    }
+
+    fn perturb(&mut self, base: &PowerTrace, stream: u64) -> PowerTrace {
+        let var = self.scenario.variance();
+        let mut rng = self.rng.fork(stream.wrapping_mul(2));
+        // Per-node static factor (panel angle / placement)...
+        let factor = 1.0 + var * (2.0 * rng.next_f64() - 1.0);
+        // ...plus small fast per-sample jitter.
+        let samples = base
+            .samples()
+            .iter()
+            .map(|p| {
+                let jitter = 1.0 + 0.05 * (2.0 * rng.next_f64() - 1.0);
+                (*p * (factor * jitter)).max_zero()
+            })
+            .collect();
+        PowerTrace::from_samples(base.dt(), samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use neofog_types::Energy;
+
+    fn mw(v: f64) -> Power {
+        Power::from_milliwatts(v)
+    }
+
+    #[test]
+    fn constant_trace_integrates_exactly() {
+        let t = PowerTrace::constant(mw(10.0), Duration::from_secs(2), Duration::from_millis(100));
+        let e = t.energy_between(Duration::ZERO, Duration::from_secs(2));
+        assert!((e.as_nanojoules() - 10.0 * 2e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn partial_interval_integration() {
+        let t = PowerTrace::from_samples(
+            Duration::from_millis(1),
+            vec![mw(1.0), mw(2.0), mw(3.0)],
+        );
+        // [0.5ms, 2.5ms) = 0.5ms@1mW + 1ms@2mW + 0.5ms@3mW = 500+2000+1500 nJ
+        let e = t.energy_between(Duration::from_micros(500), Duration::from_micros(2500));
+        assert!((e.as_nanojoules() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integration_beyond_end_is_clamped() {
+        let t = PowerTrace::constant(mw(5.0), Duration::from_millis(1), Duration::from_millis(1));
+        let e = t.energy_between(Duration::ZERO, Duration::from_secs(10));
+        assert_eq!(e, Energy::from_nanojoules(5_000.0));
+        assert_eq!(t.power_at(Duration::from_secs(5)), Power::ZERO);
+    }
+
+    #[test]
+    fn power_at_reads_correct_sample() {
+        let t = PowerTrace::from_samples(Duration::from_millis(10), vec![mw(1.0), mw(9.0)]);
+        assert_eq!(t.power_at(Duration::ZERO), mw(1.0));
+        assert_eq!(t.power_at(Duration::from_micros(9_999)), mw(1.0));
+        assert_eq!(t.power_at(Duration::from_millis(10)), mw(9.0));
+    }
+
+    #[test]
+    fn scaled_never_negative() {
+        let t = PowerTrace::from_samples(Duration::from_millis(1), vec![mw(2.0)]);
+        let s = t.scaled(-1.0);
+        assert_eq!(s.samples()[0], Power::ZERO);
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = TraceGenerator::new(Scenario::ForestIndependent, 7);
+        let mut b = TraceGenerator::new(Scenario::ForestIndependent, 7);
+        let ta = a.node_traces(3, Duration::from_mins(5), Duration::from_secs(1));
+        let tb = b.node_traces(3, Duration::from_mins(5), Duration::from_secs(1));
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn independent_nodes_are_decorrelated() {
+        let mut gen = TraceGenerator::new(Scenario::ForestIndependent, 1);
+        let traces = gen.node_traces(2, Duration::from_mins(30), Duration::from_secs(1));
+        let (a, b) = (&traces[0], &traces[1]);
+        let corr = correlation(a.samples(), b.samples());
+        assert!(corr.abs() < 0.4, "independent correlation too high: {corr}");
+    }
+
+    #[test]
+    fn dependent_nodes_are_correlated() {
+        let mut gen = TraceGenerator::new(Scenario::BridgeDependent, 1);
+        let traces = gen.node_traces(2, Duration::from_mins(30), Duration::from_secs(1));
+        let corr = correlation(traces[0].samples(), traces[1].samples());
+        assert!(corr > 0.8, "dependent correlation too low: {corr}");
+    }
+
+    #[test]
+    fn rainy_scenario_is_low_power() {
+        let mut gen = TraceGenerator::new(Scenario::MountainRainy, 3);
+        let traces = gen.node_traces(4, Duration::from_mins(10), Duration::from_secs(1));
+        for t in &traces {
+            assert!(t.mean_power() < Power::from_milliwatts(3.0));
+        }
+        let mut sunny = TraceGenerator::new(Scenario::MountainSunny, 3);
+        let st = sunny.node_trace(0, Duration::from_mins(10), Duration::from_secs(1));
+        assert!(st.mean_power() > traces[0].mean_power() * 4.0);
+    }
+
+    #[test]
+    fn trace_mean_matches_scenario_scale() {
+        for sc in [
+            Scenario::ForestIndependent,
+            Scenario::BridgeDependent,
+            Scenario::MountainSunny,
+            Scenario::MountainRainy,
+        ] {
+            let mut gen = TraceGenerator::new(sc, 11);
+            let t = gen.node_trace(0, Duration::from_mins(20), Duration::from_secs(1));
+            let mean = t.mean_power().as_milliwatts();
+            let nominal = sc.mean_power().as_milliwatts();
+            assert!(
+                mean > 0.3 * nominal && mean < 2.0 * nominal,
+                "{sc:?}: mean {mean} vs nominal {nominal}"
+            );
+        }
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = PowerTrace::constant(mw(1.0), Duration::from_millis(2), Duration::from_millis(1));
+        let b = PowerTrace::constant(mw(2.0), Duration::from_millis(1), Duration::from_millis(1));
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.power_at(Duration::from_millis(2)), mw(2.0));
+    }
+
+    fn correlation(a: &[Power], b: &[Power]) -> f64 {
+        let n = a.len().min(b.len());
+        let av: Vec<f64> = a[..n].iter().map(|p| p.as_milliwatts()).collect();
+        let bv: Vec<f64> = b[..n].iter().map(|p| p.as_milliwatts()).collect();
+        let ma = av.iter().sum::<f64>() / n as f64;
+        let mb = bv.iter().sum::<f64>() / n as f64;
+        let cov: f64 = av.iter().zip(&bv).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = av.iter().map(|x| (x - ma).powi(2)).sum();
+        let vb: f64 = bv.iter().map(|y| (y - mb).powi(2)).sum();
+        cov / (va.sqrt() * vb.sqrt()).max(f64::EPSILON)
+    }
+}

@@ -1,0 +1,253 @@
+//! Chain routing with Zigbee-style failure recovery.
+//!
+//! Models §4's intra-chain behaviour: "for a 3-mote transmission
+//! example (A→B→C), when B fails to start due to energy shortage,
+//! `orphan_scan` ... is called in A to broadcast, C sends unicast to A
+//! to confirm ... following with an update of `AssociatedDevList`. So,
+//! A→C. When B recovers, B broadcasts, A adds B in its
+//! `AssociatedDevList` and removes C, C join B, and finally A→B→C."
+
+use crate::topology::ChainMesh;
+use neofog_types::{ChainId, NodeId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The result of routing one packet hop-by-hop toward the sink.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteOutcome {
+    /// The relay nodes traversed (excluding the source, including the
+    /// final recipient).
+    pub path: Vec<NodeId>,
+    /// How many dead nodes were skipped via orphan-scan recovery.
+    pub skipped: usize,
+}
+
+/// Maintains per-chain `AssociatedDevList`s and routes around dead
+/// nodes.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_net::{ChainMesh, ChainRouter};
+/// use neofog_types::{ChainId, NodeId};
+///
+/// let mesh = ChainMesh::single_chain(4, 10.0);
+/// let mut router = ChainRouter::new(&mesh);
+/// router.mark_dead(NodeId::new(1));
+/// let route = router.route_to_sink(ChainId::new(0), NodeId::new(2))?;
+/// assert_eq!(route.path, vec![NodeId::new(0)]); // skipped n1
+/// assert_eq!(route.skipped, 1);
+/// # Ok::<(), neofog_types::NeoFogError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainRouter {
+    chains: Vec<Vec<NodeId>>,
+    dead: HashSet<NodeId>,
+    /// Per-node next-hop toward the sink after recovery rewiring.
+    associated: HashMap<NodeId, NodeId>,
+    orphan_scans: u64,
+    rejoins: u64,
+}
+
+impl ChainRouter {
+    /// Builds a router over a mesh's chains with everyone alive.
+    #[must_use]
+    pub fn new(mesh: &ChainMesh) -> Self {
+        let chains: Vec<Vec<NodeId>> = (0..mesh.chain_count())
+            .map(|c| mesh.chain(ChainId::new(c as u32)).expect("chain exists").to_vec())
+            .collect();
+        let mut router = ChainRouter {
+            chains,
+            dead: HashSet::new(),
+            associated: HashMap::new(),
+            orphan_scans: 0,
+            rejoins: 0,
+        };
+        router.rebuild_associations();
+        router
+    }
+
+    fn rebuild_associations(&mut self) {
+        self.associated.clear();
+        for chain in &self.chains {
+            let alive: Vec<NodeId> =
+                chain.iter().copied().filter(|n| !self.dead.contains(n)).collect();
+            for pair in alive.windows(2) {
+                // Next hop toward the sink (index 0 end).
+                self.associated.insert(pair[1], pair[0]);
+            }
+        }
+    }
+
+    /// `true` if the node is currently marked dead.
+    #[must_use]
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.dead.contains(&node)
+    }
+
+    /// Count of orphan-scan recoveries performed.
+    #[must_use]
+    pub fn orphan_scans(&self) -> u64 {
+        self.orphan_scans
+    }
+
+    /// Count of node rejoins performed.
+    #[must_use]
+    pub fn rejoins(&self) -> u64 {
+        self.rejoins
+    }
+
+    /// Marks a node dead (energy depletion). Its neighbours run
+    /// orphan-scan and re-associate around it.
+    pub fn mark_dead(&mut self, node: NodeId) {
+        if self.dead.insert(node) {
+            self.orphan_scans += 1;
+            self.rebuild_associations();
+        }
+    }
+
+    /// Marks a node alive again; the original chain order re-forms
+    /// ("finally A→B→C").
+    pub fn mark_alive(&mut self, node: NodeId) {
+        if self.dead.remove(&node) {
+            self.rejoins += 1;
+            self.rebuild_associations();
+        }
+    }
+
+    /// Replaces the alive/dead sets wholesale (used by the system
+    /// simulator at each slot), rebuilding associations once.
+    pub fn set_dead_set(&mut self, dead: impl IntoIterator<Item = NodeId>) {
+        let new_dead: HashSet<NodeId> = dead.into_iter().collect();
+        if new_dead != self.dead {
+            // Count the deltas for the stats.
+            self.orphan_scans += new_dead.difference(&self.dead).count() as u64;
+            self.rejoins += self.dead.difference(&new_dead).count() as u64;
+            self.dead = new_dead;
+            self.rebuild_associations();
+        }
+    }
+
+    /// Next hop of `node` toward its chain sink, skipping dead relays.
+    /// `None` when the node is the first alive node of its chain (it
+    /// *is* the effective sink-edge) or is itself dead/unknown.
+    #[must_use]
+    pub fn next_hop(&self, node: NodeId) -> Option<NodeId> {
+        if self.dead.contains(&node) {
+            return None;
+        }
+        self.associated.get(&node).copied()
+    }
+
+    /// Routes from `from` to its chain's sink, returning the path of
+    /// relays actually traversed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`neofog_types::NeoFogError::NotFound`] when `from` is
+    /// not on the given chain.
+    pub fn route_to_sink(&self, chain: ChainId, from: NodeId) -> Result<RouteOutcome> {
+        let nodes = self
+            .chains
+            .get(chain.index())
+            .ok_or_else(|| neofog_types::NeoFogError::not_found(format!("chain {chain}")))?;
+        let start = nodes
+            .iter()
+            .position(|&n| n == from)
+            .ok_or_else(|| neofog_types::NeoFogError::not_found(format!("{from} on {chain}")))?;
+        let mut path = Vec::new();
+        let mut skipped = 0usize;
+        for &n in nodes[..start].iter().rev() {
+            if self.dead.contains(&n) {
+                skipped += 1;
+            } else {
+                path.push(n);
+            }
+        }
+        Ok(RouteOutcome { path, skipped })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh3() -> ChainMesh {
+        ChainMesh::single_chain(3, 10.0)
+    }
+
+    #[test]
+    fn healthy_chain_routes_through_all_relays() {
+        let router = ChainRouter::new(&mesh3());
+        let r = router.route_to_sink(ChainId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(r.path, vec![NodeId::new(1), NodeId::new(0)]);
+        assert_eq!(r.skipped, 0);
+    }
+
+    #[test]
+    fn orphan_scan_bridges_dead_relay() {
+        // The paper's A->B->C example: B dies, A->C directly.
+        let mut router = ChainRouter::new(&mesh3());
+        router.mark_dead(NodeId::new(1));
+        let r = router.route_to_sink(ChainId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(r.path, vec![NodeId::new(0)]);
+        assert_eq!(r.skipped, 1);
+        assert_eq!(router.orphan_scans(), 1);
+        assert_eq!(router.next_hop(NodeId::new(2)), Some(NodeId::new(0)));
+    }
+
+    #[test]
+    fn recovery_restores_original_chain() {
+        let mut router = ChainRouter::new(&mesh3());
+        router.mark_dead(NodeId::new(1));
+        router.mark_alive(NodeId::new(1));
+        let r = router.route_to_sink(ChainId::new(0), NodeId::new(2)).unwrap();
+        assert_eq!(r.path, vec![NodeId::new(1), NodeId::new(0)]);
+        assert_eq!(router.rejoins(), 1);
+    }
+
+    #[test]
+    fn dead_node_has_no_next_hop() {
+        let mut router = ChainRouter::new(&mesh3());
+        router.mark_dead(NodeId::new(1));
+        assert_eq!(router.next_hop(NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn set_dead_set_counts_transitions() {
+        let mut router = ChainRouter::new(&ChainMesh::single_chain(5, 10.0));
+        router.set_dead_set([NodeId::new(1), NodeId::new(3)]);
+        assert_eq!(router.orphan_scans(), 2);
+        router.set_dead_set([NodeId::new(3)]);
+        assert_eq!(router.rejoins(), 1);
+        // No change → no new scans.
+        router.set_dead_set([NodeId::new(3)]);
+        assert_eq!(router.orphan_scans(), 2);
+    }
+
+    #[test]
+    fn all_relays_dead_still_routes_to_none() {
+        let mut router = ChainRouter::new(&mesh3());
+        router.set_dead_set([NodeId::new(0), NodeId::new(1)]);
+        let r = router.route_to_sink(ChainId::new(0), NodeId::new(2)).unwrap();
+        assert!(r.path.is_empty());
+        assert_eq!(r.skipped, 2);
+    }
+
+    #[test]
+    fn duplicate_marks_are_idempotent() {
+        let mut router = ChainRouter::new(&mesh3());
+        router.mark_dead(NodeId::new(1));
+        router.mark_dead(NodeId::new(1));
+        assert_eq!(router.orphan_scans(), 1);
+        router.mark_alive(NodeId::new(2)); // was never dead
+        assert_eq!(router.rejoins(), 0);
+    }
+
+    #[test]
+    fn unknown_chain_or_node_errors() {
+        let router = ChainRouter::new(&mesh3());
+        assert!(router.route_to_sink(ChainId::new(7), NodeId::new(0)).is_err());
+        assert!(router.route_to_sink(ChainId::new(0), NodeId::new(42)).is_err());
+    }
+}

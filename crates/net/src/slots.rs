@@ -1,0 +1,196 @@
+//! RTC-synchronized wake-up slots (paper §2.3).
+//!
+//! "The RTC wakes up once in every predefined interval, and as a
+//! result, once synchronized, all the nodes in the network with
+//! sufficient energy would wake up at the same time ... For those
+//! nodes without sufficient energy to wake up at the RTC-indicated
+//! time, they will wake up at a multiple of the RTC-indicated time."
+//! NVD4Q additionally gives each clone a phase offset so the members
+//! of a clone set take turns (Algorithm 2).
+
+use neofog_types::Duration;
+use serde::{Deserialize, Serialize};
+
+/// What a node decides to do at a slot boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WakeDecision {
+    /// Wake and run the activation pipeline.
+    Wake,
+    /// Stay asleep (not this clone's phase / skipping to a multiple).
+    Sleep,
+    /// The node is desynchronized and must re-join before it can use
+    /// slots again.
+    Desynced,
+}
+
+/// A node's slot schedule: wake every `interval` slots at offset
+/// `phase` (Algorithm 2's "pre-set tick count between activations" and
+/// "initial (phase) offset in ticks").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotSchedule {
+    interval: u32,
+    phase: u32,
+    /// Extra skip factor for energy-poor nodes (wake at a multiple of
+    /// the slot); 1 = every scheduled slot.
+    backoff: u32,
+}
+
+impl SlotSchedule {
+    /// The default schedule: wake every slot.
+    #[must_use]
+    pub fn every_slot() -> Self {
+        SlotSchedule { interval: 1, phase: 0, backoff: 1 }
+    }
+
+    /// Creates a schedule waking every `interval` slots at `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero or `phase >= interval`.
+    #[must_use]
+    pub fn new(interval: u32, phase: u32) -> Self {
+        assert!(interval > 0, "interval must be positive");
+        assert!(phase < interval, "phase must be below interval");
+        SlotSchedule { interval, phase, backoff: 1 }
+    }
+
+    /// Wake period in slots.
+    #[must_use]
+    pub fn interval(&self) -> u32 {
+        self.interval
+    }
+
+    /// Phase offset in slots.
+    #[must_use]
+    pub fn phase(&self) -> u32 {
+        self.phase
+    }
+
+    /// Current backoff multiple.
+    #[must_use]
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+
+    /// Doubles the wake period temporarily (energy-poor node waking at
+    /// "a multiple of the RTC-indicated time"), capped at 64×.
+    pub fn back_off(&mut self) {
+        self.backoff = (self.backoff * 2).min(64);
+    }
+
+    /// Clears the backoff after a healthy activation.
+    pub fn reset_backoff(&mut self) {
+        self.backoff = 1;
+    }
+
+    /// Should a synchronized node wake at absolute slot `slot`?
+    #[must_use]
+    pub fn wakes_at(&self, slot: u64) -> bool {
+        let effective = u64::from(self.interval) * u64::from(self.backoff);
+        slot % effective == u64::from(self.phase) % effective
+    }
+
+    /// Decision for slot `slot` given synchronization state.
+    #[must_use]
+    pub fn decide(&self, slot: u64, synchronized: bool) -> WakeDecision {
+        if !synchronized {
+            WakeDecision::Desynced
+        } else if self.wakes_at(slot) {
+            WakeDecision::Wake
+        } else {
+            WakeDecision::Sleep
+        }
+    }
+
+    /// Wall-clock time between this schedule's wakes, given the slot
+    /// length.
+    #[must_use]
+    pub fn wake_period(&self, slot_len: Duration) -> Duration {
+        slot_len * u64::from(self.interval) * u64::from(self.backoff)
+    }
+}
+
+impl Default for SlotSchedule {
+    fn default() -> Self {
+        Self::every_slot()
+    }
+}
+
+/// Assigns clone-set schedules: `n` clones of one logical node share
+/// the logical `interval`, each with a distinct phase (Algorithm 2's
+/// "initial (phase) offset in ticks (unique among the clones of the
+/// same node)").
+#[must_use]
+pub fn clone_schedules(n: u32) -> Vec<SlotSchedule> {
+    let n = n.max(1);
+    (0..n).map(|k| SlotSchedule::new(n, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_slot_always_wakes() {
+        let s = SlotSchedule::every_slot();
+        for slot in 0..10 {
+            assert_eq!(s.decide(slot, true), WakeDecision::Wake);
+        }
+    }
+
+    #[test]
+    fn phase_offsets_partition_slots() {
+        // Exactly one clone of a 3-clone set wakes at every slot.
+        let schedules = clone_schedules(3);
+        for slot in 0..30u64 {
+            let awake: Vec<_> =
+                schedules.iter().filter(|s| s.wakes_at(slot)).collect();
+            assert_eq!(awake.len(), 1, "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn clone_wake_rate_is_one_over_n() {
+        for n in [1u32, 2, 3, 5] {
+            let schedules = clone_schedules(n);
+            let total = u64::from(n) * 100;
+            for s in &schedules {
+                let wakes = (0..total).filter(|&k| s.wakes_at(k)).count();
+                assert_eq!(wakes, 100, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut s = SlotSchedule::every_slot();
+        s.back_off();
+        assert_eq!(s.backoff(), 2);
+        let wakes = (0..100u64).filter(|&k| s.wakes_at(k)).count();
+        assert_eq!(wakes, 50);
+        for _ in 0..20 {
+            s.back_off();
+        }
+        assert_eq!(s.backoff(), 64);
+        s.reset_backoff();
+        assert_eq!(s.backoff(), 1);
+    }
+
+    #[test]
+    fn desync_dominates() {
+        let s = SlotSchedule::every_slot();
+        assert_eq!(s.decide(0, false), WakeDecision::Desynced);
+    }
+
+    #[test]
+    fn wake_period_scales() {
+        let s = SlotSchedule::new(3, 1);
+        assert_eq!(s.wake_period(Duration::from_secs(2)), Duration::from_secs(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "phase must be below interval")]
+    fn bad_phase_rejected() {
+        let _ = SlotSchedule::new(2, 2);
+    }
+}

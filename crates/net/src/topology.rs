@@ -1,0 +1,297 @@
+//! Chain-mesh topology.
+//!
+//! "Although a mesh topology is adopted in the bridge monitoring and
+//! joint-less railway temperature monitoring systems, the network works
+//! like a chain mesh due to the physical locations of the nodes along
+//! the railway or bridge" (§2.3). NEOFog's intra-chain load balancing
+//! and inter-chain virtualization both operate on this structure.
+
+use neofog_types::{ChainId, NeoFogError, NodeId, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A node's physical position in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Position {
+    /// East-west coordinate.
+    pub x: f64,
+    /// North-south coordinate.
+    pub y: f64,
+}
+
+impl Position {
+    /// Euclidean distance to another position.
+    #[must_use]
+    pub fn distance_to(&self, other: &Position) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Free-space RSSI (dBm) at this distance from a 0 dBm transmitter
+    /// on 2.4 GHz: `-40 - 20·log10(d)` for d in meters (d < 1 m clamps
+    /// to the 1 m reference). Used to "find the closest neighbors" —
+    /// RSSI "exists in every data packet" (§4).
+    #[must_use]
+    pub fn rssi_from(&self, other: &Position) -> f64 {
+        let d = self.distance_to(other).max(1.0);
+        -40.0 - 20.0 * d.log10()
+    }
+}
+
+/// A multi-chain mesh: an ordered list of chains, each an ordered list
+/// of nodes with positions. Data flows along each chain toward the
+/// sink at index 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainMesh {
+    chains: Vec<Vec<NodeId>>,
+    positions: HashMap<NodeId, Position>,
+    membership: HashMap<NodeId, (ChainId, usize)>,
+}
+
+impl ChainMesh {
+    /// Creates an empty mesh.
+    #[must_use]
+    pub fn new() -> Self {
+        ChainMesh { chains: Vec::new(), positions: HashMap::new(), membership: HashMap::new() }
+    }
+
+    /// Builds a regular deployment: `chains` parallel chains of
+    /// `per_chain` nodes with `spacing` meters between neighbours —
+    /// the bridge/railway layout of Figure 8. Node ids are assigned
+    /// row-major: chain `c`, index `i` → `c * per_chain + i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chains` or `per_chain` is zero.
+    #[must_use]
+    pub fn grid(chains: usize, per_chain: usize, spacing: f64) -> Self {
+        assert!(chains > 0 && per_chain > 0, "grid dimensions must be positive");
+        let mut mesh = ChainMesh::new();
+        for c in 0..chains {
+            let ids: Vec<NodeId> =
+                (0..per_chain).map(|i| NodeId::new((c * per_chain + i) as u32)).collect();
+            let positions: Vec<Position> = (0..per_chain)
+                .map(|i| Position { x: i as f64 * spacing, y: c as f64 * spacing })
+                .collect();
+            mesh.add_chain(&ids, &positions);
+        }
+        mesh
+    }
+
+    /// Builds a single chain of `n` nodes spaced `spacing` meters.
+    #[must_use]
+    pub fn single_chain(n: usize, spacing: f64) -> Self {
+        Self::grid(1, n, spacing)
+    }
+
+    /// Appends a chain with explicit ids and positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ or any id is already present.
+    pub fn add_chain(&mut self, ids: &[NodeId], positions: &[Position]) -> ChainId {
+        assert_eq!(ids.len(), positions.len(), "ids and positions must pair up");
+        let chain_id = ChainId::new(self.chains.len() as u32);
+        for (idx, (&id, &pos)) in ids.iter().zip(positions).enumerate() {
+            let prev = self.membership.insert(id, (chain_id, idx));
+            assert!(prev.is_none(), "node {id} already in the mesh");
+            self.positions.insert(id, pos);
+        }
+        self.chains.push(ids.to_vec());
+        chain_id
+    }
+
+    /// Number of chains.
+    #[must_use]
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// The nodes of one chain, sink end first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoFogError::NotFound`] for an unknown chain.
+    pub fn chain(&self, id: ChainId) -> Result<&[NodeId]> {
+        self.chains
+            .get(id.index())
+            .map(Vec::as_slice)
+            .ok_or_else(|| NeoFogError::not_found(format!("chain {id}")))
+    }
+
+    /// All node ids, chain by chain.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.chains.iter().flatten().copied()
+    }
+
+    /// The chain and intra-chain index of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoFogError::NotFound`] for an unknown node.
+    pub fn locate(&self, node: NodeId) -> Result<(ChainId, usize)> {
+        self.membership
+            .get(&node)
+            .copied()
+            .ok_or_else(|| NeoFogError::not_found(format!("node {node}")))
+    }
+
+    /// A node's position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoFogError::NotFound`] for an unknown node.
+    pub fn position(&self, node: NodeId) -> Result<Position> {
+        self.positions
+            .get(&node)
+            .copied()
+            .ok_or_else(|| NeoFogError::not_found(format!("node {node}")))
+    }
+
+    /// The chain neighbour toward the sink (`None` at the sink).
+    #[must_use]
+    pub fn left_neighbor(&self, node: NodeId) -> Option<NodeId> {
+        let (chain, idx) = self.membership.get(&node).copied()?;
+        if idx == 0 {
+            None
+        } else {
+            Some(self.chains[chain.index()][idx - 1])
+        }
+    }
+
+    /// The chain neighbour away from the sink (`None` at the end).
+    #[must_use]
+    pub fn right_neighbor(&self, node: NodeId) -> Option<NodeId> {
+        let (chain, idx) = self.membership.get(&node).copied()?;
+        self.chains[chain.index()].get(idx + 1).copied()
+    }
+
+    /// Hops between two nodes of the same chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoFogError::NotFound`] if either node is unknown, or
+    /// [`NeoFogError::InvalidConfig`] if they live on different chains.
+    pub fn hops_between(&self, a: NodeId, b: NodeId) -> Result<usize> {
+        let (ca, ia) = self.locate(a)?;
+        let (cb, ib) = self.locate(b)?;
+        if ca != cb {
+            return Err(NeoFogError::invalid_config(format!(
+                "{a} and {b} are on different chains"
+            )));
+        }
+        Ok(ia.abs_diff(ib))
+    }
+
+    /// The physically closest *other* node to `node` — the NVD4Q join
+    /// target ("find the closest node through NVRF", Algorithm 2).
+    #[must_use]
+    pub fn closest_node(&self, node: NodeId) -> Option<NodeId> {
+        let here = self.positions.get(&node)?;
+        self.positions
+            .iter()
+            .filter(|(id, _)| **id != node)
+            .min_by(|a, b| here.distance_to(a.1).total_cmp(&here.distance_to(b.1)))
+            .map(|(id, _)| *id)
+    }
+
+    /// Figure 7's lesson as a computation: hop count from the last to
+    /// the first node of chain 0 when every node relays (locality-
+    /// greedy Zigbee behaviour). Densifying a 10-node chain to 4×
+    /// density turns 9 jumps into a ~25-jump zig-zag because the
+    /// protocol hops to the nearest node regardless of chain.
+    #[must_use]
+    pub fn relay_hops(&self) -> usize {
+        self.chains.first().map_or(0, |c| c.len().saturating_sub(1))
+    }
+}
+
+impl Default for ChainMesh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_builds_row_major_ids() {
+        let mesh = ChainMesh::grid(3, 4, 10.0);
+        assert_eq!(mesh.chain_count(), 3);
+        assert_eq!(mesh.node_count(), 12);
+        let c1 = mesh.chain(ChainId::new(1)).unwrap();
+        assert_eq!(c1[0], NodeId::new(4));
+        assert_eq!(c1[3], NodeId::new(7));
+    }
+
+    #[test]
+    fn neighbors_follow_chain_order() {
+        let mesh = ChainMesh::single_chain(5, 10.0);
+        let n2 = NodeId::new(2);
+        assert_eq!(mesh.left_neighbor(n2), Some(NodeId::new(1)));
+        assert_eq!(mesh.right_neighbor(n2), Some(NodeId::new(3)));
+        assert_eq!(mesh.left_neighbor(NodeId::new(0)), None);
+        assert_eq!(mesh.right_neighbor(NodeId::new(4)), None);
+    }
+
+    #[test]
+    fn hops_and_positions() {
+        let mesh = ChainMesh::single_chain(10, 15.0);
+        assert_eq!(mesh.hops_between(NodeId::new(0), NodeId::new(9)).unwrap(), 9);
+        let p9 = mesh.position(NodeId::new(9)).unwrap();
+        assert_eq!(p9.x, 135.0);
+        assert_eq!(mesh.relay_hops(), 9);
+    }
+
+    #[test]
+    fn cross_chain_hops_is_error() {
+        let mesh = ChainMesh::grid(2, 3, 10.0);
+        assert!(mesh.hops_between(NodeId::new(0), NodeId::new(3)).is_err());
+    }
+
+    #[test]
+    fn closest_node_is_adjacent() {
+        let mesh = ChainMesh::grid(2, 5, 10.0);
+        // Node 7 (chain 1, idx 2) is 10 m from nodes 6, 8 and 2.
+        let closest = mesh.closest_node(NodeId::new(7)).unwrap();
+        let d = mesh
+            .position(NodeId::new(7))
+            .unwrap()
+            .distance_to(&mesh.position(closest).unwrap());
+        assert_eq!(d, 10.0);
+    }
+
+    #[test]
+    fn rssi_decays_with_distance() {
+        let a = Position { x: 0.0, y: 0.0 };
+        let near = Position { x: 10.0, y: 0.0 };
+        let far = Position { x: 100.0, y: 0.0 };
+        assert!(a.rssi_from(&near) > a.rssi_from(&far));
+        assert!((a.rssi_from(&near) - (-60.0)).abs() < 1e-9);
+        // Sub-meter clamps to the 1 m reference.
+        let touching = Position { x: 0.1, y: 0.0 };
+        assert_eq!(a.rssi_from(&touching), -40.0);
+    }
+
+    #[test]
+    fn unknown_nodes_error() {
+        let mesh = ChainMesh::single_chain(2, 1.0);
+        assert!(mesh.locate(NodeId::new(99)).is_err());
+        assert!(mesh.position(NodeId::new(99)).is_err());
+        assert!(mesh.chain(ChainId::new(5)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the mesh")]
+    fn duplicate_nodes_rejected() {
+        let mut mesh = ChainMesh::single_chain(2, 1.0);
+        mesh.add_chain(&[NodeId::new(0)], &[Position::default()]);
+    }
+}

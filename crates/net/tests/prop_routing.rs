@@ -1,0 +1,82 @@
+//! Property tests: the chain router survives arbitrary kill/revive
+//! sequences with its invariants intact.
+
+use neofog_net::{ChainMesh, ChainRouter};
+use neofog_types::{ChainId, NodeId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Kill(u32),
+    Revive(u32),
+}
+
+fn op(n: u32) -> impl Strategy<Value = Op> {
+    prop_oneof![(0..n).prop_map(Op::Kill), (0..n).prop_map(Op::Revive)]
+}
+
+proptest! {
+    #[test]
+    fn routes_always_skip_exactly_the_dead(
+        ops in prop::collection::vec(op(12), 0..60),
+    ) {
+        let mesh = ChainMesh::single_chain(12, 10.0);
+        let mut router = ChainRouter::new(&mesh);
+        let mut dead = std::collections::HashSet::new();
+        for o in ops {
+            match o {
+                Op::Kill(i) => {
+                    router.mark_dead(NodeId::new(i));
+                    dead.insert(i);
+                }
+                Op::Revive(i) => {
+                    router.mark_alive(NodeId::new(i));
+                    dead.remove(&i);
+                }
+            }
+            // From the chain end: path must contain exactly the alive
+            // nodes below it, in descending order.
+            let route = router.route_to_sink(ChainId::new(0), NodeId::new(11)).unwrap();
+            let expect: Vec<NodeId> = (0..11u32)
+                .rev()
+                .filter(|i| !dead.contains(i))
+                .map(NodeId::new)
+                .collect();
+            prop_assert_eq!(&route.path, &expect);
+            prop_assert_eq!(route.skipped, 11 - expect.len());
+        }
+    }
+
+    #[test]
+    fn next_hop_is_the_first_alive_to_the_left(
+        killset in prop::collection::hash_set(0u32..10, 0..10),
+    ) {
+        let mesh = ChainMesh::single_chain(10, 10.0);
+        let mut router = ChainRouter::new(&mesh);
+        router.set_dead_set(killset.iter().copied().map(NodeId::new));
+        for i in 0..10u32 {
+            let hop = router.next_hop(NodeId::new(i));
+            if killset.contains(&i) {
+                prop_assert_eq!(hop, None);
+            } else {
+                let expect =
+                    (0..i).rev().find(|j| !killset.contains(j)).map(NodeId::new);
+                prop_assert_eq!(hop, expect, "node {}", i);
+            }
+        }
+    }
+
+    #[test]
+    fn positions_order_rssi(d1 in 1.0..500.0f64, d2 in 1.0..500.0f64) {
+        use neofog_net::Position;
+        let origin = Position { x: 0.0, y: 0.0 };
+        let a = Position { x: d1, y: 0.0 };
+        let b = Position { x: d2, y: 0.0 };
+        // Closer node never has weaker RSSI.
+        if d1 <= d2 {
+            prop_assert!(origin.rssi_from(&a) >= origin.rssi_from(&b));
+        } else {
+            prop_assert!(origin.rssi_from(&a) <= origin.rssi_from(&b));
+        }
+    }
+}

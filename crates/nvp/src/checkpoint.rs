@@ -1,0 +1,254 @@
+//! Checkpoint policies for nonvolatile processors.
+//!
+//! Fabricated NVPs differ in *when* they back up architectural state
+//! into their nonvolatile flip-flops (§2.2's citation trail: Hibernus'
+//! voltage-threshold hibernation, Mementos' periodic checkpoints,
+//! QuickRecall's on-demand HW/SW scheme). The policy trades backup
+//! overhead against re-execution loss:
+//!
+//! * [`CheckpointPolicy::OnPowerEmergency`] — dedicated detection
+//!   circuitry triggers exactly one backup per outage (what the
+//!   paper's NVPs do; zero re-execution, one backup per failure).
+//! * [`CheckpointPolicy::Periodic`] — software checkpoints every `k`
+//!   instructions (no detection hardware; loses up to `k` instructions
+//!   per outage and pays backups continuously).
+//! * [`CheckpointPolicy::None`] — a volatile processor (loses the
+//!   whole task on every outage).
+//!
+//! [`simulate_policy`] runs a task under a power-failure pattern and
+//! reports completed work, backups taken and instructions re-executed,
+//! so the policies can be compared quantitatively.
+
+use crate::spec::ProcSpec;
+use neofog_types::{Duration, Energy};
+use serde::{Deserialize, Serialize};
+
+/// When the processor checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CheckpointPolicy {
+    /// Hardware power-emergency detection: one just-in-time backup per
+    /// outage.
+    OnPowerEmergency,
+    /// Software checkpoint every `interval` retired instructions.
+    Periodic {
+        /// Instructions between checkpoints (must be positive).
+        interval: u64,
+    },
+    /// No checkpointing (volatile processor).
+    None,
+}
+
+/// Outcome of running a task under a checkpoint policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointReport {
+    /// `true` if the task finished within the given on-windows.
+    pub completed: bool,
+    /// Useful (first-time) instructions retired.
+    pub useful_instructions: u64,
+    /// Instructions re-executed after rollbacks.
+    pub reexecuted_instructions: u64,
+    /// Backups performed.
+    pub backups: u64,
+    /// Total energy: execution + re-execution + backups + restores.
+    pub energy: Energy,
+    /// Total busy time.
+    pub busy_time: Duration,
+}
+
+impl CheckpointReport {
+    /// Fraction of executed instructions that were useful.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        let total = self.useful_instructions + self.reexecuted_instructions;
+        if total == 0 {
+            0.0
+        } else {
+            self.useful_instructions as f64 / total as f64
+        }
+    }
+}
+
+/// Runs `task_instructions` across `windows` of uninterrupted
+/// instruction budget (each window ends with a power failure except
+/// possibly the last), under the given policy.
+///
+/// Window sizes are expressed in *instructions executable before the
+/// outage* so callers can derive them from any power trace.
+#[must_use]
+pub fn simulate_policy(
+    spec: &ProcSpec,
+    policy: CheckpointPolicy,
+    task_instructions: u64,
+    windows: &[u64],
+) -> CheckpointReport {
+    let mut committed: u64 = 0; // durable progress
+    let mut useful: u64 = 0;
+    let mut reexec: u64 = 0;
+    let mut backups: u64 = 0;
+    let mut energy = Energy::ZERO;
+    let mut busy = Duration::ZERO;
+    let mut completed = false;
+
+    'outer: for &window in windows {
+        // Restore / restart at window start.
+        energy += spec.restore_energy;
+        busy += spec.restore_time;
+        let mut budget = window;
+        // Volatile progress within this window starts at the durable
+        // committed point.
+        let mut progress = committed;
+        loop {
+            let remaining = task_instructions - progress;
+            if remaining == 0 {
+                completed = true;
+                break 'outer;
+            }
+            let until_ckpt = match policy {
+                CheckpointPolicy::Periodic { interval } => {
+                    let interval = interval.max(1);
+                    interval - (progress % interval)
+                }
+                _ => remaining,
+            };
+            let run = remaining.min(until_ckpt).min(budget);
+            if run == 0 {
+                break;
+            }
+            // Classify the work: instructions beyond the all-time
+            // high-water mark are useful; the rest is re-execution.
+            let fresh = (progress + run).saturating_sub(useful).min(run);
+            useful += fresh;
+            reexec += run - fresh;
+            energy += spec.execution_energy(run);
+            busy += spec.execution_time(run);
+            progress += run;
+            budget -= run;
+            // Periodic checkpoint commit.
+            if let CheckpointPolicy::Periodic { interval } = policy {
+                if progress.is_multiple_of(interval.max(1)) && budget > 0 {
+                    committed = progress;
+                    backups += 1;
+                    energy += spec.backup_energy;
+                    busy += spec.backup_time;
+                }
+            }
+            if progress == task_instructions {
+                completed = true;
+                break 'outer;
+            }
+        }
+        // Power failure at window end (if not the last useful moment).
+        match policy {
+            CheckpointPolicy::OnPowerEmergency => {
+                committed = progress;
+                backups += 1;
+                energy += spec.backup_energy;
+                busy += spec.backup_time;
+            }
+            CheckpointPolicy::Periodic { .. } => {
+                // Roll back to the last checkpoint: `progress -
+                // committed` instructions will be re-executed.
+            }
+            CheckpointPolicy::None => {
+                committed = 0;
+            }
+        }
+    }
+
+    CheckpointReport {
+        completed,
+        useful_instructions: useful.min(task_instructions),
+        reexecuted_instructions: reexec,
+        backups,
+        energy,
+        busy_time: busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ProcSpec {
+        ProcSpec::paper_nvp()
+    }
+
+    #[test]
+    fn emergency_policy_never_reexecutes() {
+        let report = simulate_policy(
+            &spec(),
+            CheckpointPolicy::OnPowerEmergency,
+            10_000,
+            &[3_000, 3_000, 3_000, 3_000],
+        );
+        assert!(report.completed);
+        assert_eq!(report.reexecuted_instructions, 0);
+        assert_eq!(report.useful_instructions, 10_000);
+        assert_eq!(report.backups, 3, "one backup per endured outage");
+        assert!((report.efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn volatile_policy_restarts_from_zero() {
+        let report =
+            simulate_policy(&spec(), CheckpointPolicy::None, 5_000, &[3_000, 3_000, 3_000]);
+        assert!(!report.completed, "3k windows can never finish a 5k task");
+        assert_eq!(report.useful_instructions, 3_000, "high-water mark");
+        assert_eq!(report.reexecuted_instructions, 6_000);
+        assert_eq!(report.backups, 0);
+    }
+
+    #[test]
+    fn periodic_policy_loses_at_most_one_interval() {
+        let report = simulate_policy(
+            &spec(),
+            CheckpointPolicy::Periodic { interval: 500 },
+            5_000,
+            &[2_750, 2_750, 2_750],
+        );
+        assert!(report.completed);
+        // Each outage rolls back < 500 instructions.
+        assert!(report.reexecuted_instructions <= 2 * 500);
+        assert!(report.backups >= 8);
+    }
+
+    #[test]
+    fn finer_periodic_intervals_trade_backups_for_reexecution() {
+        let windows = vec![1_999; 30];
+        let coarse =
+            simulate_policy(&spec(), CheckpointPolicy::Periodic { interval: 1_000 }, 20_000, &windows);
+        let fine =
+            simulate_policy(&spec(), CheckpointPolicy::Periodic { interval: 100 }, 20_000, &windows);
+        assert!(fine.backups > coarse.backups);
+        assert!(fine.reexecuted_instructions < coarse.reexecuted_instructions);
+    }
+
+    #[test]
+    fn emergency_beats_periodic_beats_none_in_efficiency() {
+        let windows = vec![1_500; 40];
+        let task = 20_000;
+        let e = simulate_policy(&spec(), CheckpointPolicy::OnPowerEmergency, task, &windows);
+        let p = simulate_policy(&spec(), CheckpointPolicy::Periodic { interval: 400 }, task, &windows);
+        let n = simulate_policy(&spec(), CheckpointPolicy::None, task, &windows);
+        assert!(e.efficiency() >= p.efficiency());
+        assert!(p.efficiency() > n.efficiency());
+        assert!(e.completed && p.completed && !n.completed);
+    }
+
+    #[test]
+    fn empty_windows_do_nothing() {
+        let report = simulate_policy(&spec(), CheckpointPolicy::OnPowerEmergency, 100, &[]);
+        assert!(!report.completed);
+        assert_eq!(report.useful_instructions, 0);
+    }
+
+    #[test]
+    fn single_window_completion_pays_no_backup() {
+        let report =
+            simulate_policy(&spec(), CheckpointPolicy::OnPowerEmergency, 1_000, &[5_000]);
+        assert!(report.completed);
+        assert_eq!(report.backups, 0);
+        let expect = spec().restore_energy + spec().execution_energy(1_000);
+        assert!((report.energy.as_nanojoules() - expect.as_nanojoules()).abs() < 1e-9);
+    }
+}

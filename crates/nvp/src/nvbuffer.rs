@@ -1,0 +1,260 @@
+//! The nonvolatile sample buffer (paper Figure 2(b), §5.1).
+//!
+//! A 64 KiB NV FIFO sits between the sensors and the NVP "to guarantee
+//! asynchronous data transmission" and to hold raw samples for the
+//! buffered sensing→buffering→computing→compression→transmission
+//! strategy. When the buffer fills it raises an interrupt for the NVP
+//! to process the batch; if the node lacks energy, "the sampled data
+//! are discarded".
+
+use neofog_types::{NeoFogError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A nonvolatile FIFO of fixed byte capacity holding discrete samples.
+///
+/// Contents survive power failure by construction (that is the point of
+/// an NV buffer), so there is no volatile/nonvolatile mode switch here;
+/// a node with a volatile-only design simply doesn't instantiate one.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_nvp::NvBuffer;
+///
+/// let mut buf = NvBuffer::new(16);
+/// buf.push(8)?;
+/// buf.push(8)?;
+/// assert!(buf.is_full());
+/// let batch = buf.drain();
+/// assert_eq!(batch.total_bytes, 16);
+/// # Ok::<(), neofog_types::NeoFogError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvBuffer {
+    capacity: usize,
+    used: usize,
+    samples: VecDeque<u32>,
+    discarded_samples: u64,
+    discarded_bytes: u64,
+    total_pushed: u64,
+}
+
+/// A drained batch of samples ready for batch processing.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    /// Sizes (bytes) of each sample in FIFO order.
+    pub sample_sizes: Vec<u32>,
+    /// Sum of all sample sizes.
+    pub total_bytes: usize,
+}
+
+impl NvBuffer {
+    /// The paper's buffer size: 64 KiB.
+    pub const PAPER_CAPACITY: usize = 64 * 1024;
+
+    /// Creates an empty buffer of `capacity` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be positive");
+        NvBuffer {
+            capacity,
+            used: 0,
+            samples: VecDeque::new(),
+            discarded_samples: 0,
+            discarded_bytes: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Creates the paper's 64 KiB buffer.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(Self::PAPER_CAPACITY)
+    }
+
+    /// Byte capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently buffered.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Free bytes.
+    #[must_use]
+    pub fn free(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Number of buffered samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// `true` when the next typical push would overflow. This is the
+    /// condition that "triggers an interrupt of the NVP to process the
+    /// buffered data".
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.used >= self.capacity
+    }
+
+    /// `true` if a sample of `bytes` fits right now.
+    #[must_use]
+    pub fn fits(&self, bytes: u32) -> bool {
+        bytes as usize <= self.free()
+    }
+
+    /// Samples discarded because the buffer was full.
+    #[must_use]
+    pub fn discarded_samples(&self) -> u64 {
+        self.discarded_samples
+    }
+
+    /// Bytes discarded because the buffer was full.
+    #[must_use]
+    pub fn discarded_bytes(&self) -> u64 {
+        self.discarded_bytes
+    }
+
+    /// Total samples ever pushed successfully.
+    #[must_use]
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Pushes one sample of `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoFogError::BufferFull`] when the sample does not
+    /// fit; the sample is counted as discarded (the paper's semantics
+    /// for a node that cannot process or send in time).
+    pub fn push(&mut self, bytes: u32) -> Result<()> {
+        if !self.fits(bytes) {
+            self.discarded_samples += 1;
+            self.discarded_bytes += u64::from(bytes);
+            return Err(NeoFogError::BufferFull { capacity: self.capacity });
+        }
+        self.samples.push_back(bytes);
+        self.used += bytes as usize;
+        self.total_pushed += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the oldest sample's size, if any.
+    pub fn pop(&mut self) -> Option<u32> {
+        let s = self.samples.pop_front()?;
+        self.used -= s as usize;
+        Some(s)
+    }
+
+    /// Drains the whole buffer as one batch (FIFO order preserved).
+    pub fn drain(&mut self) -> Batch {
+        let sample_sizes: Vec<u32> = self.samples.drain(..).collect();
+        let total_bytes = self.used;
+        self.used = 0;
+        Batch { sample_sizes, total_bytes }
+    }
+
+    /// Iterates over buffered sample sizes, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.samples.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut buf = NvBuffer::new(100);
+        for s in [10, 20, 30] {
+            buf.push(s).unwrap();
+        }
+        assert_eq!(buf.pop(), Some(10));
+        assert_eq!(buf.pop(), Some(20));
+        assert_eq!(buf.pop(), Some(30));
+        assert_eq!(buf.pop(), None);
+    }
+
+    #[test]
+    fn byte_accounting_is_conserved() {
+        let mut buf = NvBuffer::new(64);
+        buf.push(16).unwrap();
+        buf.push(32).unwrap();
+        assert_eq!(buf.used(), 48);
+        assert_eq!(buf.free(), 16);
+        buf.pop();
+        assert_eq!(buf.used(), 32);
+        let batch = buf.drain();
+        assert_eq!(batch.total_bytes, 32);
+        assert_eq!(buf.used(), 0);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn overflow_discards_and_errors() {
+        let mut buf = NvBuffer::new(10);
+        buf.push(8).unwrap();
+        let err = buf.push(4).unwrap_err();
+        assert_eq!(err, NeoFogError::BufferFull { capacity: 10 });
+        assert_eq!(buf.discarded_samples(), 1);
+        assert_eq!(buf.discarded_bytes(), 4);
+        // A smaller sample still fits.
+        buf.push(2).unwrap();
+        assert!(buf.is_full());
+    }
+
+    #[test]
+    fn paper_default_is_64k() {
+        let buf = NvBuffer::paper_default();
+        assert_eq!(buf.capacity(), 65536);
+    }
+
+    #[test]
+    fn bridge_fill_matches_table2_sample_count() {
+        // 8-byte bridge samples fill 64 KiB after exactly 8192 pushes —
+        // the scaling factor behind Table 2's naive-vs-buffered column.
+        let mut buf = NvBuffer::paper_default();
+        let mut n = 0u64;
+        while buf.push(8).is_ok() {
+            n += 1;
+        }
+        assert_eq!(n, 8192);
+    }
+
+    #[test]
+    fn drain_returns_sizes_in_order() {
+        let mut buf = NvBuffer::new(100);
+        for s in [1, 2, 3, 4] {
+            buf.push(s).unwrap();
+        }
+        let batch = buf.drain();
+        assert_eq!(batch.sample_sizes, vec![1, 2, 3, 4]);
+        assert_eq!(batch.total_bytes, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = NvBuffer::new(0);
+    }
+}

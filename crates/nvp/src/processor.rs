@@ -1,0 +1,313 @@
+//! Volatile vs nonvolatile processor state machines.
+//!
+//! The behavioural difference the whole paper builds on: when power
+//! fails, a volatile processor loses the architectural state of the
+//! task in flight (all progress since the task started), while a
+//! nonvolatile processor checkpoints into distributed NV flip-flops and
+//! resumes where it left off — "NVPs can still achieve forward progress
+//! under power failure frequencies as high as 100 kHz" (§2.2).
+
+use crate::spec::ProcSpec;
+use neofog_types::{Duration, Energy};
+use serde::{Deserialize, Serialize};
+
+/// Which retention technology the processor uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessorKind {
+    /// Conventional MCU: state is lost at power failure.
+    Volatile,
+    /// Nonvolatile processor: state survives power failure.
+    Nonvolatile,
+}
+
+/// Run-state of the processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum RunState {
+    /// Powered and able to execute.
+    Running,
+    /// Unpowered (after a clean backup for an NVP).
+    Off,
+}
+
+/// A node processor executing one task at a time.
+///
+/// The task is abstracted as an instruction count; [`Processor::step`]
+/// retires instructions against a supplied energy budget, and
+/// [`Processor::power_failure`] / [`Processor::power_restore`] model
+/// outages.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_nvp::{Processor, ProcessorKind};
+/// use neofog_types::Energy;
+///
+/// let mut nvp = Processor::new(ProcessorKind::Nonvolatile);
+/// nvp.load_task(1000);
+/// nvp.power_restore();
+/// let budget = nvp.spec().execution_energy(400);
+/// nvp.step(budget);
+/// nvp.power_failure();
+/// nvp.power_restore();
+/// assert_eq!(nvp.progress(), 400); // progress retained
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    kind: ProcessorKind,
+    spec: ProcSpec,
+    state: RunState,
+    task_len: u64,
+    progress: u64,
+    /// Instructions lost to power failures over the processor's life.
+    lost_instructions: u64,
+    /// Count of power failures survived/suffered.
+    power_cycles: u64,
+    energy_used: Energy,
+    busy_time: Duration,
+}
+
+impl Processor {
+    /// Creates a processor of the given kind with the paper's spec.
+    #[must_use]
+    pub fn new(kind: ProcessorKind) -> Self {
+        let spec = match kind {
+            ProcessorKind::Volatile => ProcSpec::paper_vp(),
+            ProcessorKind::Nonvolatile => ProcSpec::paper_nvp(),
+        };
+        Self::with_spec(kind, spec)
+    }
+
+    /// Creates a processor with an explicit specification.
+    #[must_use]
+    pub fn with_spec(kind: ProcessorKind, spec: ProcSpec) -> Self {
+        Processor {
+            kind,
+            spec,
+            state: RunState::Off,
+            task_len: 0,
+            progress: 0,
+            lost_instructions: 0,
+            power_cycles: 0,
+            energy_used: Energy::ZERO,
+            busy_time: Duration::ZERO,
+        }
+    }
+
+    /// The retention technology.
+    #[must_use]
+    pub fn kind(&self) -> ProcessorKind {
+        self.kind
+    }
+
+    /// The timing/energy specification.
+    #[must_use]
+    pub fn spec(&self) -> &ProcSpec {
+        &self.spec
+    }
+
+    /// Instructions completed of the current task.
+    #[must_use]
+    pub fn progress(&self) -> u64 {
+        self.progress
+    }
+
+    /// Length (in instructions) of the loaded task.
+    #[must_use]
+    pub fn task_len(&self) -> u64 {
+        self.task_len
+    }
+
+    /// `true` once the loaded task has fully retired.
+    #[must_use]
+    pub fn task_done(&self) -> bool {
+        self.task_len > 0 && self.progress >= self.task_len
+    }
+
+    /// Total instructions re-executed due to volatile progress loss.
+    #[must_use]
+    pub fn lost_instructions(&self) -> u64 {
+        self.lost_instructions
+    }
+
+    /// Number of power failures experienced.
+    #[must_use]
+    pub fn power_cycles(&self) -> u64 {
+        self.power_cycles
+    }
+
+    /// Total energy consumed (execution + backup + restore).
+    #[must_use]
+    pub fn energy_used(&self) -> Energy {
+        self.energy_used
+    }
+
+    /// Total wall-clock time spent busy (executing or restoring).
+    #[must_use]
+    pub fn busy_time(&self) -> Duration {
+        self.busy_time
+    }
+
+    /// Loads a fresh task of `instructions`, resetting progress.
+    pub fn load_task(&mut self, instructions: u64) {
+        self.task_len = instructions;
+        self.progress = 0;
+    }
+
+    /// Retires as many instructions as `budget` allows (bounded by the
+    /// remaining task). Returns the number retired. The processor must
+    /// be powered — call [`Processor::power_restore`] first; stepping
+    /// an off processor retires nothing.
+    pub fn step(&mut self, budget: Energy) -> u64 {
+        if self.state != RunState::Running || self.task_done() || self.task_len == 0 {
+            return 0;
+        }
+        let affordable = self.spec.instructions_within(budget);
+        let retire = affordable.min(self.task_len - self.progress);
+        self.progress += retire;
+        self.energy_used += self.spec.execution_energy(retire);
+        self.busy_time += self.spec.execution_time(retire);
+        retire
+    }
+
+    /// Power fails. An NVP checkpoints (pays backup time/energy from
+    /// its on-chip reserve, as fabricated designs do); a VP loses all
+    /// progress on the in-flight task.
+    pub fn power_failure(&mut self) {
+        if self.state == RunState::Off {
+            return;
+        }
+        self.power_cycles += 1;
+        match self.kind {
+            ProcessorKind::Volatile => {
+                self.lost_instructions += self.progress;
+                self.progress = 0;
+            }
+            ProcessorKind::Nonvolatile => {
+                self.energy_used += self.spec.backup_energy;
+                self.busy_time += self.spec.backup_time;
+            }
+        }
+        self.state = RunState::Off;
+    }
+
+    /// Power returns; pays the restart/restore cost and returns it as
+    /// `(time, energy)` so the caller can charge the right supply.
+    pub fn power_restore(&mut self) -> (Duration, Energy) {
+        if self.state == RunState::Running {
+            return (Duration::ZERO, Energy::ZERO);
+        }
+        self.state = RunState::Running;
+        self.energy_used += self.spec.restore_energy;
+        self.busy_time += self.spec.restore_time;
+        (self.spec.restore_time, self.spec.restore_energy)
+    }
+
+    /// `true` while powered.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.state == RunState::Running
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn budget_for(p: &Processor, n: u64) -> Energy {
+        p.spec().execution_energy(n)
+    }
+
+    #[test]
+    fn nvp_retains_progress_across_outage() {
+        let mut p = Processor::new(ProcessorKind::Nonvolatile);
+        p.load_task(100);
+        p.power_restore();
+        p.step(budget_for(&p, 60));
+        p.power_failure();
+        p.power_restore();
+        assert_eq!(p.progress(), 60);
+        p.step(budget_for(&p, 40));
+        assert!(p.task_done());
+        assert_eq!(p.lost_instructions(), 0);
+    }
+
+    #[test]
+    fn vp_loses_progress_on_outage() {
+        let mut p = Processor::new(ProcessorKind::Volatile);
+        p.load_task(100);
+        p.power_restore();
+        p.step(budget_for(&p, 60));
+        p.power_failure();
+        p.power_restore();
+        assert_eq!(p.progress(), 0);
+        assert_eq!(p.lost_instructions(), 60);
+    }
+
+    #[test]
+    fn step_requires_power() {
+        let mut p = Processor::new(ProcessorKind::Nonvolatile);
+        p.load_task(10);
+        assert_eq!(p.step(Energy::from_millijoules(1.0)), 0);
+        p.power_restore();
+        assert!(p.step(Energy::from_millijoules(1.0)) > 0);
+    }
+
+    #[test]
+    fn step_bounded_by_task_and_budget() {
+        let mut p = Processor::new(ProcessorKind::Nonvolatile);
+        p.load_task(5);
+        p.power_restore();
+        // Budget for 3 instructions retires 3.
+        assert_eq!(p.step(budget_for(&p, 3)), 3);
+        // Huge budget retires only the remaining 2.
+        assert_eq!(p.step(Energy::from_joules(1.0)), 2);
+        assert!(p.task_done());
+        assert_eq!(p.step(Energy::from_joules(1.0)), 0);
+    }
+
+    #[test]
+    fn energy_accounting_includes_overheads() {
+        let mut p = Processor::new(ProcessorKind::Nonvolatile);
+        p.load_task(10);
+        let (_, restore_e) = p.power_restore();
+        p.step(budget_for(&p, 10));
+        p.power_failure(); // backup
+        let expected =
+            restore_e + p.spec().execution_energy(10) + p.spec().backup_energy;
+        assert!((p.energy_used().as_nanojoules() - expected.as_nanojoules()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forward_progress_under_frequent_failures() {
+        // NVP completes a long task under rapid power cycling; VP never
+        // does when each on-window is shorter than the task.
+        let mut nvp = Processor::new(ProcessorKind::Nonvolatile);
+        let mut vp = Processor::new(ProcessorKind::Volatile);
+        nvp.load_task(1000);
+        vp.load_task(1000);
+        for _ in 0..50 {
+            for p in [&mut nvp, &mut vp] {
+                p.power_restore();
+                let b = p.spec().execution_energy(100);
+                p.step(b);
+                p.power_failure();
+            }
+        }
+        assert!(nvp.task_done(), "NVP should finish: {}", nvp.progress());
+        assert!(!vp.task_done(), "VP should be stuck: {}", vp.progress());
+        assert_eq!(vp.lost_instructions(), 50 * 100);
+    }
+
+    #[test]
+    fn double_restore_and_failure_are_idempotent() {
+        let mut p = Processor::new(ProcessorKind::Nonvolatile);
+        p.load_task(1);
+        p.power_restore();
+        let cycles_before = p.power_cycles();
+        let (t, e) = p.power_restore();
+        assert_eq!((t, e), (Duration::ZERO, Energy::ZERO));
+        p.power_failure();
+        p.power_failure();
+        assert_eq!(p.power_cycles(), cycles_before + 1);
+    }
+}

@@ -1,0 +1,178 @@
+//! Processor specifications calibrated to the paper's measurements.
+
+use neofog_types::{Duration, Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// Cycles per instruction of the modified-8051 core the paper's
+/// node-level simulator is built on (§4).
+pub const CYCLES_PER_INSTRUCTION: u64 = 12;
+
+/// Timing and energy specification of a node processor.
+///
+/// The two presets, [`ProcSpec::paper_nvp`] and [`ProcSpec::paper_vp`],
+/// carry the constants measured in the paper; everything else in the
+/// workspace derives per-instruction cost from them.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_nvp::ProcSpec;
+///
+/// let nvp = ProcSpec::paper_nvp();
+/// // Table 2, bridge health: 545 instructions -> 1366.86 nJ.
+/// let e = nvp.instruction_energy() * 545.0;
+/// assert!((e.as_nanojoules() - 1366.86).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcSpec {
+    /// Core clock frequency in hertz.
+    pub clock_hz: u64,
+    /// Power drawn while actively executing.
+    pub active_power: Power,
+    /// Power drawn while idle but powered.
+    pub idle_power: Power,
+    /// Time to resume execution after power returns.
+    pub restore_time: Duration,
+    /// Energy consumed by a restore.
+    pub restore_energy: Energy,
+    /// Time to checkpoint state before power dies (zero for a VP —
+    /// there is nothing to save, the state is simply lost).
+    pub backup_time: Duration,
+    /// Energy consumed by a backup.
+    pub backup_energy: Energy,
+}
+
+impl ProcSpec {
+    /// The paper's NVP: 1 MHz, 0.209 mW active, 7 µs restore under
+    /// FIOS (Figure 1); backup into on-chip NV flip-flops.
+    #[must_use]
+    pub fn paper_nvp() -> Self {
+        let active = Power::from_milliwatts(0.209);
+        ProcSpec {
+            clock_hz: 1_000_000,
+            active_power: active,
+            idle_power: Power::from_microwatts(2.0),
+            restore_time: Duration::from_micros(7),
+            restore_energy: active * Duration::from_micros(7),
+            backup_time: Duration::from_micros(5),
+            backup_energy: active * Duration::from_micros(5),
+        }
+    }
+
+    /// The paper's NOS-mode NVP (Figure 4): same core, 32 µs start-up
+    /// because restore happens from the cold capacitor path.
+    #[must_use]
+    pub fn paper_nvp_nos() -> Self {
+        let mut spec = Self::paper_nvp();
+        spec.restore_time = Duration::from_micros(32);
+        spec.restore_energy = spec.active_power * Duration::from_micros(32);
+        spec
+    }
+
+    /// The paper's volatile MCU: ~300 µs restart initialization
+    /// (Figure 1) and no checkpoint capability.
+    #[must_use]
+    pub fn paper_vp() -> Self {
+        let active = Power::from_milliwatts(0.209);
+        ProcSpec {
+            clock_hz: 1_000_000,
+            active_power: active,
+            idle_power: Power::from_microwatts(5.0),
+            restore_time: Duration::from_micros(300),
+            restore_energy: active * Duration::from_micros(300),
+            backup_time: Duration::ZERO,
+            backup_energy: Energy::ZERO,
+        }
+    }
+
+    /// Wall-clock time to retire one instruction.
+    #[must_use]
+    pub fn instruction_time(&self) -> Duration {
+        // 12 cycles at `clock_hz`; at 1 MHz this is exactly 12 µs.
+        Duration::from_micros(CYCLES_PER_INSTRUCTION * 1_000_000 / self.clock_hz)
+    }
+
+    /// Energy to retire one instruction (2.508 nJ at the paper's
+    /// operating point).
+    #[must_use]
+    pub fn instruction_energy(&self) -> Energy {
+        self.active_power * self.instruction_time()
+    }
+
+    /// Wall-clock time for `n` instructions.
+    #[must_use]
+    pub fn execution_time(&self, instructions: u64) -> Duration {
+        Duration::from_micros(instructions * self.instruction_time().as_micros())
+    }
+
+    /// Energy for `n` instructions.
+    #[must_use]
+    pub fn execution_energy(&self, instructions: u64) -> Energy {
+        self.instruction_energy() * instructions as f64
+    }
+
+    /// Instructions that fit in an energy budget (floor).
+    #[must_use]
+    pub fn instructions_within(&self, budget: Energy) -> u64 {
+        let per = self.instruction_energy().as_nanojoules();
+        if per <= 0.0 {
+            return u64::MAX;
+        }
+        // The epsilon absorbs float rounding so a budget computed as
+        // `execution_energy(n)` affords exactly `n` instructions.
+        (budget.max_zero().as_nanojoules() / per + 1e-9).floor() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvp_instruction_energy_matches_table2() {
+        let spec = ProcSpec::paper_nvp();
+        assert!((spec.instruction_energy().as_nanojoules() - 2.508).abs() < 1e-12);
+        // All five Table 2 apps:
+        for (inst, nj) in [
+            (545u64, 1366.86),
+            (460, 1153.68),
+            (56, 140.448),
+            (477, 1196.316),
+            (1670, 4188.36),
+        ] {
+            let e = spec.execution_energy(inst);
+            assert!((e.as_nanojoules() - nj).abs() < 1e-6, "{inst} inst -> {e}");
+        }
+    }
+
+    #[test]
+    fn instruction_time_is_12us_at_1mhz() {
+        assert_eq!(ProcSpec::paper_nvp().instruction_time(), Duration::from_micros(12));
+        assert_eq!(
+            ProcSpec::paper_nvp().execution_time(1000),
+            Duration::from_millis(12)
+        );
+    }
+
+    #[test]
+    fn vp_has_no_backup_but_long_restart() {
+        let vp = ProcSpec::paper_vp();
+        assert_eq!(vp.backup_time, Duration::ZERO);
+        assert_eq!(vp.restore_time, Duration::from_micros(300));
+        let nvp = ProcSpec::paper_nvp();
+        assert!(nvp.restore_time < vp.restore_time);
+    }
+
+    #[test]
+    fn instructions_within_budget_floors() {
+        let spec = ProcSpec::paper_nvp();
+        let budget = spec.instruction_energy() * 10.5;
+        assert_eq!(spec.instructions_within(budget), 10);
+        assert_eq!(spec.instructions_within(Energy::ZERO), 0);
+    }
+
+    #[test]
+    fn nos_nvp_restore_is_32us() {
+        assert_eq!(ProcSpec::paper_nvp_nos().restore_time, Duration::from_micros(32));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: the NV FIFO agrees with a reference model.
+
+use neofog_nvp::NvBuffer;
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+    Drain,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..64).prop_map(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Drain),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn behaves_like_reference_deque(ops in prop::collection::vec(op(), 1..300)) {
+        let capacity = 256usize;
+        let mut buf = NvBuffer::new(capacity);
+        let mut model: VecDeque<u32> = VecDeque::new();
+        let mut model_used = 0usize;
+        for o in ops {
+            match o {
+                Op::Push(n) => {
+                    let fits = model_used + n as usize <= capacity;
+                    let result = buf.push(n);
+                    prop_assert_eq!(result.is_ok(), fits);
+                    if fits {
+                        model.push_back(n);
+                        model_used += n as usize;
+                    }
+                }
+                Op::Pop => {
+                    let expect = model.pop_front();
+                    if let Some(n) = expect {
+                        model_used -= n as usize;
+                    }
+                    prop_assert_eq!(buf.pop(), expect);
+                }
+                Op::Drain => {
+                    let batch = buf.drain();
+                    let expect: Vec<u32> = model.drain(..).collect();
+                    model_used = 0;
+                    prop_assert_eq!(batch.sample_sizes, expect);
+                }
+            }
+            prop_assert_eq!(buf.len(), model.len());
+            prop_assert_eq!(buf.used(), model_used);
+            prop_assert!(buf.used() <= buf.capacity());
+        }
+    }
+
+    #[test]
+    fn drain_total_equals_sum_of_sizes(pushes in prop::collection::vec(1u32..32, 0..50)) {
+        let mut buf = NvBuffer::new(4096);
+        let mut expect = 0usize;
+        for p in pushes {
+            if buf.push(p).is_ok() {
+                expect += p as usize;
+            }
+        }
+        let batch = buf.drain();
+        prop_assert_eq!(batch.total_bytes, expect);
+        prop_assert_eq!(
+            batch.sample_sizes.iter().map(|&s| s as usize).sum::<usize>(),
+            expect
+        );
+    }
+}

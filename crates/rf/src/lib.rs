@@ -1,0 +1,35 @@
+//! Radio substrate for NEOFog: software-controlled RF vs the
+//! nonvolatile RF controller (NVRF).
+//!
+//! The paper's measured radio model (§2.2, §4):
+//!
+//! * Zigbee-class transceiver at 250 kbps; ≈89.1 mW in TX/RX, 14.93 mW
+//!   idle, so one byte on air costs 32 µs × 89.1 mW = 2851.2 nJ.
+//! * Traditional software RF re-initialization after power failure:
+//!   531 ms with a 1 MHz host MCU, then a transmission of `N` bytes
+//!   takes `(255 + 1.44·N + 0.032·N)` ms.
+//! * The NVRF controller [Wang et al.] stores the RF configuration in a
+//!   nonvolatile register file and restores it by direct nonvolatile
+//!   memory access: 28 ms one-time configuration, then
+//!   `(1.74 + 0.156 + 0.216·N + 0.032·N)` ms per transmission, a 27×
+//!   init speedup and 6.2× throughput gain.
+//! * NVRF state is **cloneable**, the property NVD4Q virtualization
+//!   exploits: a new node copies a neighbour's NVRF register file and
+//!   joins its clone set without any network reconstruction.
+//!
+//! Modules: [`timing`] (pure measured formulas), [`model`] (stateful
+//! radio models), [`packet`] (frames), [`loss`] (the measured 0.75 %
+//! weather-driven loss process).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loss;
+pub mod model;
+pub mod packet;
+pub mod timing;
+
+pub use loss::LossModel;
+pub use model::{NvRf, RadioCost, RadioModel, RfConfig, SoftwareRf};
+pub use packet::{Packet, PacketKind};
+pub use timing::RfTimings;

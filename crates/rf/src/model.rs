@@ -1,0 +1,373 @@
+//! Stateful radio models: software-controlled RF vs NVRF.
+//!
+//! The behavioural contrast (paper Figure 3): a software-controlled
+//! transceiver loses channel/route configuration at every power
+//! failure and must be re-initialized by the host processor, while the
+//! NVRF controller keeps the configuration in nonvolatile flip-flops,
+//! restores it by direct nonvolatile memory access, and can even run
+//! transmissions with *no* processor involvement once armed.
+
+use crate::timing::RfTimings;
+use neofog_types::{Duration, Energy, NeoFogError, Power, Result};
+use serde::{Deserialize, Serialize};
+
+/// Time and energy cost of one radio operation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RadioCost {
+    /// Wall-clock time of the operation.
+    pub time: Duration,
+    /// Energy drawn from the node supply.
+    pub energy: Energy,
+}
+
+impl RadioCost {
+    /// Combines two costs sequentially.
+    #[must_use]
+    pub fn then(self, other: RadioCost) -> RadioCost {
+        RadioCost { time: self.time + other.time, energy: self.energy + other.energy }
+    }
+}
+
+/// The configuration an RF transceiver needs before it can transmit.
+///
+/// For NVD4Q this is the state a joining node *clones* from its nearest
+/// neighbour: channel map, network/route identity (which
+/// `AssociatedDevList` snapshot it belongs to) and the slot timer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RfConfig {
+    /// RF channel index.
+    pub channel: u8,
+    /// Identifier of the network association state (route tables etc.).
+    pub network_epoch: u64,
+    /// Slot interval in ticks, shared by all clones of a logical node.
+    pub wake_interval_ticks: u32,
+    /// Phase offset in ticks, unique per clone within a clone set.
+    pub phase_offset_ticks: u32,
+}
+
+impl RfConfig {
+    /// A fresh configuration for a network epoch on channel 11 (the
+    /// first Zigbee 2.4 GHz channel).
+    #[must_use]
+    pub fn new(network_epoch: u64) -> Self {
+        RfConfig { channel: 11, network_epoch, wake_interval_ticks: 1, phase_offset_ticks: 0 }
+    }
+}
+
+/// Common interface over the two radio control schemes.
+///
+/// This trait is object-safe so nodes can hold `Box<dyn RadioModel>`.
+pub trait RadioModel {
+    /// `true` when the radio holds a valid configuration and can
+    /// transmit without (re)initialization.
+    fn is_ready(&self) -> bool;
+
+    /// (Re)initializes the radio, storing `config`. Returns the cost.
+    fn initialize(&mut self, config: RfConfig) -> RadioCost;
+
+    /// Reacts to a power failure (a software radio forgets its
+    /// configuration; an NVRF retains it).
+    fn power_failure(&mut self);
+
+    /// Transmits `bytes` payload bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoFogError::InvalidConfig`] if the radio is not
+    /// ready.
+    fn transmit(&mut self, bytes: u32) -> Result<RadioCost>;
+
+    /// Receives `bytes` payload bytes (airtime at active power).
+    fn receive(&self, bytes: u32) -> RadioCost;
+
+    /// Standby power while the radio is powered but idle.
+    fn standby_power(&self) -> Power;
+
+    /// The stored configuration, if any.
+    fn config(&self) -> Option<&RfConfig>;
+}
+
+/// Software-controlled transceiver (paper Figure 3(a)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftwareRf {
+    timings: RfTimings,
+    config: Option<RfConfig>,
+}
+
+impl SoftwareRf {
+    /// Creates an unconfigured software-controlled radio.
+    #[must_use]
+    pub fn new(timings: RfTimings) -> Self {
+        SoftwareRf { timings, config: None }
+    }
+
+    /// Creates one with the paper's measured timings.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(RfTimings::paper_default())
+    }
+
+    /// The timing constants in use.
+    #[must_use]
+    pub fn timings(&self) -> &RfTimings {
+        &self.timings
+    }
+}
+
+impl RadioModel for SoftwareRf {
+    fn is_ready(&self) -> bool {
+        self.config.is_some()
+    }
+
+    fn initialize(&mut self, config: RfConfig) -> RadioCost {
+        self.config = Some(config);
+        RadioCost { time: self.timings.software_init, energy: self.timings.software_init_energy() }
+    }
+
+    fn power_failure(&mut self) {
+        // All transceiver state is volatile.
+        self.config = None;
+    }
+
+    fn transmit(&mut self, bytes: u32) -> Result<RadioCost> {
+        if self.config.is_none() {
+            return Err(NeoFogError::invalid_config("software RF not initialized"));
+        }
+        Ok(RadioCost {
+            time: self.timings.software_tx_time(bytes),
+            energy: self.timings.software_tx_energy(bytes),
+        })
+    }
+
+    fn receive(&self, bytes: u32) -> RadioCost {
+        RadioCost {
+            time: self.timings.on_air_time(bytes),
+            energy: self.timings.on_air_energy(bytes),
+        }
+    }
+
+    fn standby_power(&self) -> Power {
+        self.timings.idle_power
+    }
+
+    fn config(&self) -> Option<&RfConfig> {
+        self.config.as_ref()
+    }
+}
+
+/// Nonvolatile RF controller (paper Figure 3(b)).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NvRf {
+    timings: RfTimings,
+    config: Option<RfConfig>,
+    /// Transmissions performed without processor involvement since the
+    /// last configuration (the DNVMA self-reinitialization path).
+    autonomous_txs: u64,
+}
+
+impl NvRf {
+    /// Creates an unconfigured NVRF.
+    #[must_use]
+    pub fn new(timings: RfTimings) -> Self {
+        NvRf { timings, config: None, autonomous_txs: 0 }
+    }
+
+    /// Creates one with the paper's measured timings.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(RfTimings::paper_default())
+    }
+
+    /// The timing constants in use.
+    #[must_use]
+    pub fn timings(&self) -> &RfTimings {
+        &self.timings
+    }
+
+    /// Clones the nonvolatile controller state from a neighbour — the
+    /// NVD4Q join operation (Algorithm 2 lines 2–3). The clone is given
+    /// its own phase offset by the caller afterwards.
+    ///
+    /// Returns the cost: reading the neighbour's registers over the air
+    /// plus writing the local NV register file (modelled as one NVRF
+    /// start + a small register payload each way).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoFogError::InvalidConfig`] if the source NVRF has no
+    /// configuration to clone.
+    pub fn clone_state_from(&mut self, source: &NvRf) -> Result<RadioCost> {
+        let cfg =
+            source.config.clone().ok_or_else(|| {
+                NeoFogError::invalid_config("source NVRF holds no configuration")
+            })?;
+        self.config = Some(cfg);
+        // Register file is tens of bytes; model as a 32-byte exchange.
+        let t = self.timings.nvrf_tx_time(32);
+        Ok(RadioCost { time: t, energy: self.timings.active_power * t })
+    }
+
+    /// Updates the slot timer parameters (Algorithm 2 line 6: "update
+    /// or not update wake-up interval time"). Free of radio cost — the
+    /// processor writes NV registers directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeoFogError::InvalidConfig`] when unconfigured.
+    pub fn set_schedule(&mut self, interval_ticks: u32, phase_ticks: u32) -> Result<()> {
+        let cfg = self
+            .config
+            .as_mut()
+            .ok_or_else(|| NeoFogError::invalid_config("NVRF not configured"))?;
+        cfg.wake_interval_ticks = interval_ticks.max(1);
+        cfg.phase_offset_ticks = phase_ticks;
+        Ok(())
+    }
+
+    /// Number of self-reinitialized (processor-free) transmissions.
+    #[must_use]
+    pub fn autonomous_txs(&self) -> u64 {
+        self.autonomous_txs
+    }
+}
+
+impl RadioModel for NvRf {
+    fn is_ready(&self) -> bool {
+        self.config.is_some()
+    }
+
+    fn initialize(&mut self, config: RfConfig) -> RadioCost {
+        self.config = Some(config);
+        RadioCost { time: self.timings.nvrf_init, energy: self.timings.nvrf_init_energy() }
+    }
+
+    fn power_failure(&mut self) {
+        // Configuration lives in nonvolatile flip-flops: nothing lost.
+    }
+
+    fn transmit(&mut self, bytes: u32) -> Result<RadioCost> {
+        if self.config.is_none() {
+            return Err(NeoFogError::invalid_config("NVRF not configured"));
+        }
+        self.autonomous_txs += 1;
+        Ok(RadioCost {
+            time: self.timings.nvrf_tx_time(bytes),
+            energy: self.timings.nvrf_tx_energy(bytes),
+        })
+    }
+
+    fn receive(&self, bytes: u32) -> RadioCost {
+        RadioCost {
+            time: self.timings.on_air_time(bytes),
+            energy: self.timings.on_air_energy(bytes),
+        }
+    }
+
+    fn standby_power(&self) -> Power {
+        self.timings.idle_power
+    }
+
+    fn config(&self) -> Option<&RfConfig> {
+        self.config.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_rf_forgets_config_on_power_failure() {
+        let mut rf = SoftwareRf::paper_default();
+        rf.initialize(RfConfig::new(1));
+        assert!(rf.is_ready());
+        rf.power_failure();
+        assert!(!rf.is_ready());
+        assert!(rf.transmit(8).is_err());
+    }
+
+    #[test]
+    fn nvrf_retains_config_across_power_failure() {
+        let mut rf = NvRf::paper_default();
+        rf.initialize(RfConfig::new(1));
+        rf.power_failure();
+        assert!(rf.is_ready());
+        let cost = rf.transmit(8).unwrap();
+        assert_eq!(cost.time, RfTimings::paper_default().nvrf_tx_time(8));
+        assert_eq!(rf.autonomous_txs(), 1);
+    }
+
+    #[test]
+    fn unconfigured_radios_refuse_to_transmit() {
+        let mut sw = SoftwareRf::paper_default();
+        let mut nv = NvRf::paper_default();
+        assert!(sw.transmit(1).is_err());
+        assert!(nv.transmit(1).is_err());
+    }
+
+    #[test]
+    fn per_transmission_cost_gap_matches_paper() {
+        let mut sw = SoftwareRf::paper_default();
+        let mut nv = NvRf::paper_default();
+        sw.initialize(RfConfig::new(1));
+        nv.initialize(RfConfig::new(1));
+        let sw_cost = sw.transmit(8).unwrap();
+        let nv_cost = nv.transmit(8).unwrap();
+        assert!(sw_cost.time > nv_cost.time * 60);
+        assert!(sw_cost.energy > nv_cost.energy);
+    }
+
+    #[test]
+    fn clone_state_copies_config() {
+        let mut src = NvRf::paper_default();
+        src.initialize(RfConfig { channel: 15, network_epoch: 9, ..RfConfig::new(9) });
+        let mut dst = NvRf::paper_default();
+        let cost = dst.clone_state_from(&src).unwrap();
+        assert!(dst.is_ready());
+        assert_eq!(dst.config().unwrap().channel, 15);
+        assert_eq!(dst.config().unwrap().network_epoch, 9);
+        assert!(cost.time < Duration::from_millis(20));
+        // Cloning is much cheaper than software initialization.
+        assert!(cost.time < RfTimings::paper_default().software_init);
+    }
+
+    #[test]
+    fn clone_from_unconfigured_source_fails() {
+        let src = NvRf::paper_default();
+        let mut dst = NvRf::paper_default();
+        assert!(dst.clone_state_from(&src).is_err());
+    }
+
+    #[test]
+    fn set_schedule_updates_timer_fields() {
+        let mut rf = NvRf::paper_default();
+        assert!(rf.set_schedule(3, 1).is_err());
+        rf.initialize(RfConfig::new(1));
+        rf.set_schedule(3, 1).unwrap();
+        let cfg = rf.config().unwrap();
+        assert_eq!(cfg.wake_interval_ticks, 3);
+        assert_eq!(cfg.phase_offset_ticks, 1);
+        // Zero interval is clamped to 1.
+        rf.set_schedule(0, 0).unwrap();
+        assert_eq!(rf.config().unwrap().wake_interval_ticks, 1);
+    }
+
+    #[test]
+    fn radios_are_object_safe() {
+        let mut radios: Vec<Box<dyn RadioModel>> =
+            vec![Box::new(SoftwareRf::paper_default()), Box::new(NvRf::paper_default())];
+        for r in &mut radios {
+            r.initialize(RfConfig::new(0));
+            assert!(r.is_ready());
+            assert!(r.transmit(4).is_ok());
+        }
+    }
+
+    #[test]
+    fn rx_costs_airtime() {
+        let rf = NvRf::paper_default();
+        let cost = rf.receive(10);
+        assert_eq!(cost.time, Duration::from_micros(320));
+        assert!((cost.energy.as_nanojoules() - 28512.0).abs() < 1e-9);
+    }
+}

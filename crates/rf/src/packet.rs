@@ -1,0 +1,120 @@
+//! Radio frames exchanged between nodes.
+
+use bytes::Bytes;
+use neofog_types::{NodeId, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// What a packet carries — the distinction matters for the paper's
+/// metrics: only *raw* and *processed* data count toward packets
+/// captured/processed; balance and control traffic is overhead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PacketKind {
+    /// Raw sensor samples headed for the cloud (NOS behaviour).
+    RawData,
+    /// Locally processed / compressed results (FIOS fog output).
+    Processed,
+    /// Load-balance state exchange (energy level, NVP configuration).
+    BalanceInfo,
+    /// Task payload shipped to a neighbour for balanced execution.
+    TaskTransfer,
+    /// Network management (orphan scan, join, RTC sync, clone state).
+    Control,
+}
+
+impl PacketKind {
+    /// `true` for application data (raw or processed).
+    #[must_use]
+    pub fn is_data(self) -> bool {
+        matches!(self, PacketKind::RawData | PacketKind::Processed)
+    }
+}
+
+/// One frame on the air.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique packet identifier.
+    pub id: PacketId,
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node (next hop in a chain mesh).
+    pub dst: NodeId,
+    /// Payload classification.
+    pub kind: PacketKind,
+    /// Payload length in bytes (what the radio cost model charges).
+    pub payload_len: u32,
+    /// Optional payload contents (examples carry real compressed
+    /// bytes; the large-scale simulator leaves this empty and works on
+    /// `payload_len` alone).
+    #[serde(skip)]
+    pub payload: Bytes,
+}
+
+impl Packet {
+    /// Creates a packet carrying only a length (simulation use).
+    #[must_use]
+    pub fn sized(id: PacketId, src: NodeId, dst: NodeId, kind: PacketKind, len: u32) -> Self {
+        Packet { id, src, dst, kind, payload_len: len, payload: Bytes::new() }
+    }
+
+    /// Creates a packet carrying real bytes (example/binary use).
+    #[must_use]
+    pub fn with_payload(
+        id: PacketId,
+        src: NodeId,
+        dst: NodeId,
+        kind: PacketKind,
+        payload: Bytes,
+    ) -> Self {
+        let payload_len = payload.len() as u32;
+        Packet { id, src, dst, kind, payload_len, payload }
+    }
+
+    /// Re-addresses the packet to the next hop, keeping the original
+    /// source (relay semantics in a chain mesh).
+    #[must_use]
+    pub fn relayed_to(mut self, next_hop: NodeId) -> Self {
+        self.dst = next_hop;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids() -> (PacketId, NodeId, NodeId) {
+        (PacketId::new(1), NodeId::new(2), NodeId::new(3))
+    }
+
+    #[test]
+    fn sized_packet_has_no_contents() {
+        let (p, s, d) = ids();
+        let pkt = Packet::sized(p, s, d, PacketKind::RawData, 8);
+        assert_eq!(pkt.payload_len, 8);
+        assert!(pkt.payload.is_empty());
+    }
+
+    #[test]
+    fn payload_packet_derives_length() {
+        let (p, s, d) = ids();
+        let pkt = Packet::with_payload(p, s, d, PacketKind::Processed, Bytes::from_static(b"hello"));
+        assert_eq!(pkt.payload_len, 5);
+    }
+
+    #[test]
+    fn relay_keeps_source() {
+        let (p, s, d) = ids();
+        let pkt = Packet::sized(p, s, d, PacketKind::Processed, 4).relayed_to(NodeId::new(9));
+        assert_eq!(pkt.src, s);
+        assert_eq!(pkt.dst, NodeId::new(9));
+    }
+
+    #[test]
+    fn data_classification() {
+        assert!(PacketKind::RawData.is_data());
+        assert!(PacketKind::Processed.is_data());
+        assert!(!PacketKind::BalanceInfo.is_data());
+        assert!(!PacketKind::Control.is_data());
+        assert!(!PacketKind::TaskTransfer.is_data());
+    }
+}

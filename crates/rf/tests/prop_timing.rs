@@ -1,0 +1,53 @@
+//! Property tests: the RF timing model's structure.
+
+use neofog_rf::{LossModel, RfTimings};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn tx_times_are_monotone_in_payload(a in 0u32..10_000, b in 0u32..10_000) {
+        let t = RfTimings::paper_default();
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(t.software_tx_time(lo) <= t.software_tx_time(hi));
+        prop_assert!(t.nvrf_tx_time(lo) <= t.nvrf_tx_time(hi));
+        prop_assert!(t.on_air_time(lo) <= t.on_air_time(hi));
+    }
+
+    #[test]
+    fn nvrf_always_beats_software(n in 0u32..60_000) {
+        let t = RfTimings::paper_default();
+        prop_assert!(t.nvrf_tx_time(n) < t.software_tx_time(n));
+        prop_assert!(t.nvrf_tx_energy(n) < t.software_tx_energy(n));
+    }
+
+    #[test]
+    fn energies_scale_with_times(n in 1u32..10_000) {
+        // E = P x t exactly, for every formula.
+        let t = RfTimings::paper_default();
+        let p = t.active_power.as_milliwatts();
+        for (time, energy) in [
+            (t.on_air_time(n), t.on_air_energy(n)),
+            (t.nvrf_tx_time(n), t.nvrf_tx_energy(n)),
+            (t.software_tx_time(n), t.software_tx_energy(n)),
+        ] {
+            let expect = p * time.as_micros() as f64;
+            prop_assert!((energy.as_nanojoules() - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn chain_success_is_multiplicative(h1 in 0u32..20, h2 in 0u32..20) {
+        let m = LossModel::paper_default();
+        let combined = m.chain_success(h1 + h2);
+        let product = m.chain_success(h1) * m.chain_success(h2);
+        prop_assert!((combined - product).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weather_only_reduces_success(loss in 0.0..0.99f64) {
+        let base = LossModel::paper_default();
+        let wet = LossModel::paper_default().with_weather_loss(loss);
+        prop_assert!(wet.success_probability() <= base.success_probability());
+        prop_assert!(wet.success_probability() >= 0.0);
+    }
+}

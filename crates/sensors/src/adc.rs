@@ -1,0 +1,66 @@
+//! Power / stored-energy sampling support circuitry.
+//!
+//! FIOS nodes continuously sample their income power and capacitor
+//! level to drive the Spendthrift policy and the load balancer. The
+//! paper models "power and stored energy sampling supporting circuits
+//! (including ADC's power) and penalty" (§4); this module charges that
+//! overhead.
+
+use neofog_types::{Duration, Energy, Power};
+use serde::{Deserialize, Serialize};
+
+/// A successive-approximation ADC used for power/energy telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    /// Conversion latency per reading.
+    pub conversion_time: Duration,
+    /// Power drawn during conversion.
+    pub active_power: Power,
+    /// Static power of the reference/monitor path while enabled.
+    pub static_power: Power,
+}
+
+impl Adc {
+    /// A 12-bit SAR ADC profile typical of low-power MCUs.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Adc {
+            conversion_time: Duration::from_micros(20),
+            active_power: Power::from_microwatts(350.0),
+            static_power: Power::from_microwatts(1.0),
+        }
+    }
+
+    /// Energy of one conversion.
+    #[must_use]
+    pub fn conversion_energy(&self) -> Energy {
+        self.active_power * self.conversion_time
+    }
+
+    /// Energy of monitoring for `window` with `readings` conversions.
+    #[must_use]
+    pub fn monitoring_energy(&self, window: Duration, readings: u64) -> Energy {
+        self.static_power * window + self.conversion_energy() * readings as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_energy_is_small() {
+        let adc = Adc::paper_default();
+        // 350 uW * 20 us = 7 nJ: telemetry is cheap relative to the
+        // 2.508 nJ/instruction compute cost but not free.
+        assert!((adc.conversion_energy().as_nanojoules() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monitoring_energy_combines_static_and_dynamic() {
+        let adc = Adc::paper_default();
+        let e = adc.monitoring_energy(Duration::from_secs(1), 10);
+        // 1 uW * 1 s = 1000 nJ static + 70 nJ conversions.
+        assert!((e.as_nanojoules() - 1070.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests: algebraic laws of the unit types.
+
+use neofog_types::{Duration, Energy, Power};
+use proptest::prelude::*;
+
+fn energy() -> impl Strategy<Value = Energy> {
+    (-1e12..1e12f64).prop_map(Energy::from_nanojoules)
+}
+
+fn nonneg_energy() -> impl Strategy<Value = Energy> {
+    (0.0..1e12f64).prop_map(Energy::from_nanojoules)
+}
+
+proptest! {
+    #[test]
+    fn energy_addition_commutes(a in energy(), b in energy()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn energy_add_sub_round_trips(a in energy(), b in energy()) {
+        let back = (a + b) - b;
+        prop_assert!((back.as_nanojoules() - a.as_nanojoules()).abs() <= 1e-3 * a.as_nanojoules().abs().max(1.0));
+    }
+
+    #[test]
+    fn saturating_sub_never_negative(a in nonneg_energy(), b in nonneg_energy()) {
+        prop_assert!(!a.saturating_sub(b).is_negative());
+    }
+
+    #[test]
+    fn power_time_energy_dimensional_consistency(
+        mw in 0.0..1e4f64,
+        us in 0u64..1_000_000_000,
+    ) {
+        let e = Power::from_milliwatts(mw) * Duration::from_micros(us);
+        prop_assert!((e.as_nanojoules() - mw * us as f64).abs() < 1e-6 * (mw * us as f64).max(1.0));
+    }
+
+    #[test]
+    fn sustains_is_inverse_of_integration(
+        mw in 0.001..1e3f64,
+        us in 1u64..100_000_000,
+    ) {
+        let p = Power::from_milliwatts(mw);
+        let e = p * Duration::from_micros(us);
+        let d = e.sustains(p);
+        // Floor rounding may lose at most 1 us.
+        prop_assert!(us - d.as_micros() <= 1, "{us} vs {}", d.as_micros());
+    }
+
+    #[test]
+    fn duration_min_max_are_lattice(a in 0u64..u64::MAX/2, b in 0u64..u64::MAX/2) {
+        let (da, db) = (Duration::from_micros(a), Duration::from_micros(b));
+        prop_assert_eq!(da.min(db) + da.max(db), da + db);
+        prop_assert!(da.min(db) <= da.max(db));
+    }
+
+    #[test]
+    fn energy_scaling_distributes(a in -1e9..1e9f64, b in -1e9..1e9f64, k in -1e3..1e3f64) {
+        let lhs = (Energy::from_nanojoules(a) + Energy::from_nanojoules(b)) * k;
+        let rhs = Energy::from_nanojoules(a) * k + Energy::from_nanojoules(b) * k;
+        prop_assert!((lhs.as_nanojoules() - rhs.as_nanojoules()).abs() < 1e-2_f64.max(lhs.as_nanojoules().abs() * 1e-9));
+    }
+}

@@ -1,0 +1,346 @@
+//! The five measured applications and their Table 2 energy model.
+//!
+//! Every constant here is taken from, or derived exactly from, Table 2
+//! of the paper ("Measured energy distribution on different platforms
+//! using two different strategies"):
+//!
+//! * per-instruction energy 2.508 nJ (NVP at 1 MHz / 0.209 mW, 12
+//!   cycles per instruction),
+//! * on-air transmission energy 2851.2 nJ/byte (89.1 mW × 32 µs),
+//! * the naive strategy samples-and-sends one payload at a time, while
+//!   the buffered strategy accumulates a 64 KiB NV buffer, processes
+//!   the batch with complex local computing, compresses, and transmits
+//!   the compressed residue,
+//! * energy comparison via the paper's equations (4)–(6).
+
+use neofog_sensors::SensorKind;
+use neofog_types::Energy;
+use serde::{Deserialize, Serialize};
+
+/// Energy per instruction on the paper's NVP (nJ).
+pub const ENERGY_PER_INSTRUCTION_NJ: f64 = 2.508;
+/// On-air energy per transmitted byte (nJ).
+pub const ENERGY_PER_TX_BYTE_NJ: f64 = 2851.2;
+/// The NV buffer capacity the buffered strategy fills (bytes).
+pub const BUFFER_BYTES: u64 = 64 * 1024;
+
+/// The two node-level strategies of §5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Naive sensing→computing→transmission: every sample is processed
+    /// lightly and sent immediately (one RF session per sample).
+    Naive,
+    /// Sensing→buffering→complex-local-computing→compression→
+    /// transmission: samples accumulate in the 64 KiB NV buffer and are
+    /// processed/compressed as a batch.
+    Buffered,
+}
+
+/// The five measured applications of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum App {
+    /// Bridge cable strength monitoring.
+    BridgeHealth,
+    /// Wearable UV dose meter.
+    UvMeter,
+    /// WSN temperature logging.
+    WsnTemp,
+    /// WSN acceleration logging.
+    WsnAccel,
+    /// Heartbeat signal pattern matching.
+    PatternMatching,
+}
+
+impl App {
+    /// All five applications, Table 2 row order.
+    pub const ALL: [App; 5] = [
+        App::BridgeHealth,
+        App::UvMeter,
+        App::WsnTemp,
+        App::WsnAccel,
+        App::PatternMatching,
+    ];
+
+    /// Display name matching Table 2.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            App::BridgeHealth => "Bridge Health",
+            App::UvMeter => "UV Meter",
+            App::WsnTemp => "WSN-Temp.",
+            App::WsnAccel => "WSN-Accel.",
+            App::PatternMatching => "Pattern Matching",
+        }
+    }
+
+    /// The sensor the application samples.
+    #[must_use]
+    pub fn sensor(self) -> SensorKind {
+        match self {
+            App::BridgeHealth | App::WsnAccel => SensorKind::Lis331dlh,
+            App::UvMeter => SensorKind::UvPhotodiode,
+            App::WsnTemp => SensorKind::Tmp101,
+            App::PatternMatching => SensorKind::EcgFrontend,
+        }
+    }
+
+    /// Instructions of the naive per-sample processing (Table 2
+    /// "Inst. NO.").
+    #[must_use]
+    pub fn naive_instructions(self) -> u64 {
+        match self {
+            App::BridgeHealth => 545,
+            App::UvMeter => 460,
+            App::WsnTemp => 56,
+            App::WsnAccel => 477,
+            App::PatternMatching => 1670,
+        }
+    }
+
+    /// Payload bytes of one sample (implied by Table 2's TX energies:
+    /// TX energy / 2851.2 nJ per byte).
+    #[must_use]
+    pub fn payload_bytes(self) -> u32 {
+        match self {
+            App::BridgeHealth => 8,
+            App::UvMeter => 2,
+            App::WsnTemp => 2,
+            App::WsnAccel => 6,
+            App::PatternMatching => 1,
+        }
+    }
+
+    /// Measured compute energy of one buffered batch (Table 2, mJ).
+    #[must_use]
+    pub fn buffered_compute_mj(self) -> f64 {
+        match self {
+            App::BridgeHealth => 81.7,
+            App::UvMeter => 108.3,
+            App::WsnTemp => 75.0,
+            App::WsnAccel => 83.6,
+            App::PatternMatching => 345.1,
+        }
+    }
+
+    /// Measured transmit energy of one buffered batch (Table 2, mJ).
+    #[must_use]
+    pub fn buffered_tx_mj(self) -> f64 {
+        match self {
+            App::BridgeHealth => 6.95,
+            App::UvMeter => 6.8,
+            App::WsnTemp => 6.99,
+            App::WsnAccel => 6.59,
+            App::PatternMatching => 5.39,
+        }
+    }
+
+    /// Samples needed to fill the 64 KiB buffer.
+    #[must_use]
+    pub fn samples_per_batch(self) -> u64 {
+        BUFFER_BYTES / u64::from(self.payload_bytes())
+    }
+
+    /// Instructions of one buffered batch, implied by the measured
+    /// batch compute energy.
+    #[must_use]
+    pub fn buffered_instructions(self) -> u64 {
+        (self.buffered_compute_mj() * 1e6 / ENERGY_PER_INSTRUCTION_NJ).round() as u64
+    }
+
+    /// Per-sample instructions under the buffered strategy.
+    #[must_use]
+    pub fn buffered_instructions_per_sample(self) -> u64 {
+        self.buffered_instructions() / self.samples_per_batch().max(1)
+    }
+
+    /// Compressed output bytes of one batch, implied by the measured
+    /// batch TX energy.
+    #[must_use]
+    pub fn compressed_bytes(self) -> u32 {
+        (self.buffered_tx_mj() * 1e6 / ENERGY_PER_TX_BYTE_NJ).round() as u32
+    }
+
+    /// Achieved compression ratio (compressed/raw) of the batch.
+    #[must_use]
+    pub fn compression_ratio(self) -> f64 {
+        f64::from(self.compressed_bytes()) / BUFFER_BYTES as f64
+    }
+
+    /// Energy of one naive sample: compute + transmit (nJ).
+    #[must_use]
+    pub fn naive_sample_energy(self) -> Energy {
+        Energy::from_nanojoules(
+            self.naive_instructions() as f64 * ENERGY_PER_INSTRUCTION_NJ
+                + f64::from(self.payload_bytes()) * ENERGY_PER_TX_BYTE_NJ,
+        )
+    }
+
+    /// Computes the full Table 2 row for this application.
+    #[must_use]
+    pub fn energy_row(self) -> AppEnergyRow {
+        let naive_compute_nj = self.naive_instructions() as f64 * ENERGY_PER_INSTRUCTION_NJ;
+        let naive_tx_nj = f64::from(self.payload_bytes()) * ENERGY_PER_TX_BYTE_NJ;
+        let naive_ratio = naive_compute_nj / (naive_compute_nj + naive_tx_nj);
+        let buf_c = self.buffered_compute_mj();
+        let buf_t = self.buffered_tx_mj();
+        let buffered_ratio = buf_c / (buf_c + buf_t);
+        // Equations (4)-(6): scale the naive strategy to one buffer's
+        // worth of data and compare.
+        let e_naive_mj = (naive_compute_nj + naive_tx_nj) * self.samples_per_batch() as f64 / 1e6;
+        let e_new_mj = buf_c + buf_t;
+        let saved_ratio = (e_new_mj - e_naive_mj) / e_naive_mj;
+        AppEnergyRow {
+            app: self,
+            naive_instructions: self.naive_instructions(),
+            naive_compute_nj,
+            naive_tx_nj,
+            naive_compute_ratio: naive_ratio,
+            buffered_compute_mj: buf_c,
+            buffered_tx_mj: buf_t,
+            buffered_compute_ratio: buffered_ratio,
+            energy_saved_ratio: saved_ratio,
+        }
+    }
+}
+
+/// One row of Table 2, fully derived.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AppEnergyRow {
+    /// The application.
+    pub app: App,
+    /// Naive per-sample instruction count.
+    pub naive_instructions: u64,
+    /// Naive per-sample compute energy (nJ).
+    pub naive_compute_nj: f64,
+    /// Naive per-sample transmit energy (nJ).
+    pub naive_tx_nj: f64,
+    /// Naive compute share of total energy.
+    pub naive_compute_ratio: f64,
+    /// Buffered batch compute energy (mJ).
+    pub buffered_compute_mj: f64,
+    /// Buffered batch transmit energy (mJ).
+    pub buffered_tx_mj: f64,
+    /// Buffered compute share of total energy.
+    pub buffered_compute_ratio: f64,
+    /// Paper equation (6): `(E_new − E_naive)/E_naive` (negative =
+    /// savings).
+    pub energy_saved_ratio: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_compute_energies_match_table2() {
+        let expect = [1366.86, 1153.68, 140.448, 1196.316, 4188.36];
+        for (app, nj) in App::ALL.iter().zip(expect) {
+            let row = app.energy_row();
+            assert!((row.naive_compute_nj - nj).abs() < 1e-6, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn naive_tx_energies_match_table2() {
+        let expect = [22_809.6, 5_702.4, 5_702.4, 17_107.2, 2_851.2];
+        for (app, nj) in App::ALL.iter().zip(expect) {
+            let row = app.energy_row();
+            assert!((row.naive_tx_nj - nj).abs() < 1e-6, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn naive_compute_ratios_match_table2() {
+        let expect = [0.0565, 0.168, 0.024, 0.0653, 0.595];
+        for (app, r) in App::ALL.iter().zip(expect) {
+            let row = app.energy_row();
+            assert!((row.naive_compute_ratio - r).abs() < 0.001, "{app:?}: {}", row.naive_compute_ratio);
+        }
+    }
+
+    #[test]
+    fn buffered_compute_ratios_match_table2() {
+        let expect = [0.922, 0.941, 0.915, 0.927, 0.985];
+        for (app, r) in App::ALL.iter().zip(expect) {
+            let row = app.energy_row();
+            assert!(
+                (row.buffered_compute_ratio - r).abs() < 0.001,
+                "{app:?}: {}",
+                row.buffered_compute_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn energy_saved_ratios_match_table2() {
+        // Paper: -55.2 %, -48.8 %, -57.1 %, -54.9 %, -24.1 %. Our exact
+        // recomputation lands within 0.15 pp of each printed value
+        // (the paper's own rounding).
+        let expect = [-0.552, -0.488, -0.571, -0.549, -0.241];
+        for (app, r) in App::ALL.iter().zip(expect) {
+            let row = app.energy_row();
+            assert!(
+                (row.energy_saved_ratio - r).abs() < 0.0015,
+                "{app:?}: {}",
+                row.energy_saved_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn compression_ratios_sit_in_paper_band() {
+        // §5.1: compression reduces data to 3 %–14.5 % of original;
+        // the Table 2 batches land at the strong end (~3–4 %).
+        for app in App::ALL {
+            let ratio = app.compression_ratio();
+            assert!(
+                (0.028..=0.145).contains(&ratio),
+                "{app:?}: ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_sizes_follow_payloads() {
+        assert_eq!(App::BridgeHealth.samples_per_batch(), 8192);
+        assert_eq!(App::UvMeter.samples_per_batch(), 32_768);
+        assert_eq!(App::WsnAccel.samples_per_batch(), 10_922);
+        assert_eq!(App::PatternMatching.samples_per_batch(), 65_536);
+    }
+
+    #[test]
+    fn buffered_work_is_compute_dominated() {
+        for app in App::ALL {
+            let row = app.energy_row();
+            assert!(row.buffered_compute_ratio > 0.9, "{app:?}");
+            assert!(row.naive_compute_ratio < row.buffered_compute_ratio);
+        }
+    }
+
+    #[test]
+    fn buffered_instruction_counts_are_large() {
+        // Complex local computing: tens of millions of instructions per
+        // batch vs hundreds per naive sample.
+        for app in App::ALL {
+            assert!(app.buffered_instructions() > 10_000_000, "{app:?}");
+            assert!(
+                app.buffered_instructions_per_sample() > app.naive_instructions(),
+                "{app:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sensors_match_payload_sizes() {
+        use neofog_sensors::SensorSpec;
+        for app in App::ALL {
+            // Bridge health combines 3-axis accel+extras into an
+            // 8-byte record; the raw accelerometer sample is 6 bytes.
+            if app == App::BridgeHealth {
+                continue;
+            }
+            let spec = SensorSpec::of(app.sensor());
+            assert_eq!(spec.bytes_per_sample, app.payload_bytes(), "{app:?}");
+        }
+    }
+}

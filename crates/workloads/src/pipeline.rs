@@ -1,0 +1,210 @@
+//! Node work pipelines: the ordered phases a node executes per
+//! activation under each strategy (paper Figures 1 and 4).
+
+use crate::app::{App, Strategy};
+use serde::{Deserialize, Serialize};
+
+/// One phase of a node activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Initialize the sensor (cost from `neofog_sensors::SensorSpec`).
+    SensorInit,
+    /// Take `count` samples.
+    Sample {
+        /// Number of samples to take.
+        count: u64,
+    },
+    /// Execute `instructions` of local processing.
+    Compute {
+        /// Instruction count.
+        instructions: u64,
+    },
+    /// Initialize / restore the radio.
+    RadioInit,
+    /// Transmit `bytes` of payload.
+    Transmit {
+        /// Payload bytes.
+        bytes: u32,
+    },
+}
+
+/// The phase sequence one activation of an application performs.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_workloads::{App, Strategy, TaskPipeline};
+///
+/// let naive = TaskPipeline::for_app(App::WsnTemp, Strategy::Naive);
+/// let buffered = TaskPipeline::for_app(App::WsnTemp, Strategy::Buffered);
+/// assert!(buffered.total_instructions() > naive.total_instructions());
+/// assert!(buffered.total_tx_bytes() < naive.total_tx_bytes() * 33000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskPipeline {
+    app: App,
+    strategy: Strategy,
+    phases: Vec<Phase>,
+}
+
+impl TaskPipeline {
+    /// Builds the pipeline for an application under a strategy.
+    ///
+    /// * Naive (NOS): init sensor, one sample, light compute, radio
+    ///   init, transmit the raw payload.
+    /// * Buffered (FIOS): fill the 64 KiB buffer, batch compute
+    ///   (including compression — its instructions are part of the
+    ///   measured batch count), transmit the compressed residue. The
+    ///   radio needs no software init phase because the NVRF
+    ///   self-restores.
+    #[must_use]
+    pub fn for_app(app: App, strategy: Strategy) -> Self {
+        let phases = match strategy {
+            Strategy::Naive => vec![
+                Phase::SensorInit,
+                Phase::Sample { count: 1 },
+                Phase::Compute { instructions: app.naive_instructions() },
+                Phase::RadioInit,
+                Phase::Transmit { bytes: app.payload_bytes() },
+            ],
+            Strategy::Buffered => vec![
+                Phase::SensorInit,
+                Phase::Sample { count: app.samples_per_batch() },
+                Phase::Compute { instructions: app.buffered_instructions() },
+                Phase::Transmit { bytes: app.compressed_bytes() },
+            ],
+        };
+        TaskPipeline { app, strategy, phases }
+    }
+
+    /// The application.
+    #[must_use]
+    pub fn app(&self) -> App {
+        self.app
+    }
+
+    /// The strategy.
+    #[must_use]
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The ordered phases.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Samples taken per activation.
+    #[must_use]
+    pub fn total_samples(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Sample { count } => *count,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Instructions executed per activation.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Compute { instructions } => *instructions,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Payload bytes transmitted per activation.
+    #[must_use]
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Transmit { bytes } => u64::from(*bytes),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// The *fog tasks* of one activation: the per-sample processing
+    /// steps offloaded from the cloud, each sized in instructions.
+    /// This is the unit the distributed load balancer moves between
+    /// neighbouring nodes.
+    #[must_use]
+    pub fn fog_tasks(&self) -> Vec<u64> {
+        match self.strategy {
+            Strategy::Naive => Vec::new(), // NOS nodes send raw data to the cloud
+            Strategy::Buffered => {
+                let per = self.app.buffered_instructions_per_sample();
+                // Group samples into paper-style "tasks" of ~1k samples
+                // so balance decisions operate on meaningful chunks.
+                let samples = self.app.samples_per_batch();
+                let group = 1024.min(samples.max(1));
+                let tasks = samples / group;
+                (0..tasks).map(|_| per * group).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_pipeline_shape() {
+        let p = TaskPipeline::for_app(App::BridgeHealth, Strategy::Naive);
+        assert!(matches!(p.phases()[0], Phase::SensorInit));
+        assert!(p.phases().iter().any(|ph| matches!(ph, Phase::RadioInit)));
+        assert_eq!(p.total_samples(), 1);
+        assert_eq!(p.total_tx_bytes(), 8);
+        assert_eq!(p.total_instructions(), 545);
+    }
+
+    #[test]
+    fn buffered_pipeline_has_no_radio_init() {
+        let p = TaskPipeline::for_app(App::BridgeHealth, Strategy::Buffered);
+        assert!(!p.phases().iter().any(|ph| matches!(ph, Phase::RadioInit)));
+        assert_eq!(p.total_samples(), 8192);
+        assert_eq!(p.total_tx_bytes(), u64::from(App::BridgeHealth.compressed_bytes()));
+    }
+
+    #[test]
+    fn buffered_shifts_energy_to_compute() {
+        for app in App::ALL {
+            let naive = TaskPipeline::for_app(app, Strategy::Naive);
+            let buf = TaskPipeline::for_app(app, Strategy::Buffered);
+            // Per sample, buffered transmits far fewer bytes...
+            let naive_bytes_per_sample = naive.total_tx_bytes() as f64;
+            let buf_bytes_per_sample =
+                buf.total_tx_bytes() as f64 / buf.total_samples() as f64;
+            assert!(buf_bytes_per_sample < 0.15 * naive_bytes_per_sample, "{app:?}");
+            // ...but computes more instructions.
+            let naive_inst = naive.total_instructions() as f64;
+            let buf_inst = buf.total_instructions() as f64 / buf.total_samples() as f64;
+            assert!(buf_inst > naive_inst, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn fog_tasks_only_exist_when_buffered() {
+        assert!(TaskPipeline::for_app(App::WsnTemp, Strategy::Naive).fog_tasks().is_empty());
+        let tasks = TaskPipeline::for_app(App::WsnTemp, Strategy::Buffered).fog_tasks();
+        assert!(!tasks.is_empty());
+        assert!(tasks.iter().all(|&t| t > 0));
+    }
+
+    #[test]
+    fn fog_tasks_cover_most_of_the_batch() {
+        let p = TaskPipeline::for_app(App::PatternMatching, Strategy::Buffered);
+        let task_sum: u64 = p.fog_tasks().iter().sum();
+        let batch = p.total_instructions();
+        assert!(task_sum as f64 > 0.9 * batch as f64);
+        assert!(task_sum <= batch);
+    }
+}

@@ -1,0 +1,242 @@
+//! Personal UV dose estimation.
+//!
+//! The wearable UV meter (Table 1/2, after Li et al., BSN'16) does more
+//! in the fog than logging raw readings: it converts irradiance samples
+//! to erythemally weighted dose, tracks the accumulated fraction of the
+//! wearer's minimal erythema dose (MED), and raises exposure alerts —
+//! transmitting a handful of summary bytes instead of a sample stream.
+
+use serde::{Deserialize, Serialize};
+
+/// Fitzpatrick skin phototypes with their typical minimal erythema
+/// dose (J/m², erythemally weighted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SkinType {
+    /// Type I — burns very easily (MED ≈ 200 J/m²).
+    I,
+    /// Type II (MED ≈ 250 J/m²).
+    II,
+    /// Type III (MED ≈ 300 J/m²).
+    III,
+    /// Type IV (MED ≈ 450 J/m²).
+    IV,
+    /// Type V (MED ≈ 600 J/m²).
+    V,
+    /// Type VI — rarely burns (MED ≈ 1000 J/m²).
+    VI,
+}
+
+impl SkinType {
+    /// Minimal erythema dose in J/m².
+    #[must_use]
+    pub fn med_j_per_m2(self) -> f64 {
+        match self {
+            SkinType::I => 200.0,
+            SkinType::II => 250.0,
+            SkinType::III => 300.0,
+            SkinType::IV => 450.0,
+            SkinType::V => 600.0,
+            SkinType::VI => 1000.0,
+        }
+    }
+}
+
+/// Converts a raw 8-bit sensor reading to erythemally weighted
+/// irradiance in W/m² (sensor full scale ≈ UV index 12 ≈ 0.3 W/m²).
+#[must_use]
+pub fn reading_to_irradiance(raw: u8) -> f64 {
+    f64::from(raw) / 255.0 * 0.30
+}
+
+/// Converts erythemally weighted irradiance (W/m²) to the WHO UV
+/// index (1 UVI = 25 mW/m²).
+#[must_use]
+pub fn uv_index(irradiance: f64) -> f64 {
+    irradiance.max(0.0) / 0.025
+}
+
+/// Exposure status the meter reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exposure {
+    /// Below half the MED.
+    Safe,
+    /// Between 50 % and 100 % of the MED.
+    Caution,
+    /// MED reached or exceeded.
+    Burned,
+}
+
+/// Accumulates dose from buffered samples — the UV meter's fog task.
+///
+/// # Examples
+///
+/// ```
+/// use neofog_workloads::uvdose::{DoseTracker, SkinType};
+///
+/// let mut tracker = DoseTracker::new(SkinType::II);
+/// tracker.ingest(&[128; 600], 1.0); // 10 min of half-scale sun
+/// assert!(tracker.dose_fraction() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DoseTracker {
+    skin: SkinType,
+    accumulated_j_per_m2: f64,
+    peak_uvi: f64,
+    samples: u64,
+}
+
+impl DoseTracker {
+    /// Creates a tracker for a skin type with zero accumulated dose.
+    #[must_use]
+    pub fn new(skin: SkinType) -> Self {
+        DoseTracker { skin, accumulated_j_per_m2: 0.0, peak_uvi: 0.0, samples: 0 }
+    }
+
+    /// Ingests a batch of raw samples taken `sample_period_s` apart.
+    pub fn ingest(&mut self, raw: &[u8], sample_period_s: f64) {
+        for &r in raw {
+            let irr = reading_to_irradiance(r);
+            self.accumulated_j_per_m2 += irr * sample_period_s;
+            self.peak_uvi = self.peak_uvi.max(uv_index(irr));
+            self.samples += 1;
+        }
+    }
+
+    /// Accumulated erythemally weighted dose in J/m².
+    #[must_use]
+    pub fn dose_j_per_m2(&self) -> f64 {
+        self.accumulated_j_per_m2
+    }
+
+    /// Accumulated dose as a fraction of the wearer's MED.
+    #[must_use]
+    pub fn dose_fraction(&self) -> f64 {
+        self.accumulated_j_per_m2 / self.skin.med_j_per_m2()
+    }
+
+    /// Highest UV index seen.
+    #[must_use]
+    pub fn peak_uvi(&self) -> f64 {
+        self.peak_uvi
+    }
+
+    /// Samples ingested.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Current exposure classification.
+    #[must_use]
+    pub fn exposure(&self) -> Exposure {
+        let f = self.dose_fraction();
+        if f >= 1.0 {
+            Exposure::Burned
+        } else if f >= 0.5 {
+            Exposure::Caution
+        } else {
+            Exposure::Safe
+        }
+    }
+
+    /// Seconds until the MED is reached at the given sustained
+    /// irradiance (infinite in darkness or if already burned… well,
+    /// zero if already burned).
+    #[must_use]
+    pub fn time_to_med_s(&self, irradiance: f64) -> f64 {
+        let remaining = self.skin.med_j_per_m2() - self.accumulated_j_per_m2;
+        if remaining <= 0.0 {
+            0.0
+        } else if irradiance <= 0.0 {
+            f64::INFINITY
+        } else {
+            remaining / irradiance
+        }
+    }
+
+    /// The 8-byte summary the node transmits instead of raw samples:
+    /// dose fraction (per-mille, u16), peak UVI ×10 (u16), sample
+    /// count (u32).
+    #[must_use]
+    pub fn summary_packet(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        let dose = (self.dose_fraction() * 1000.0).clamp(0.0, 65535.0) as u16;
+        let peak = (self.peak_uvi * 10.0).clamp(0.0, 65535.0) as u16;
+        out[0..2].copy_from_slice(&dose.to_le_bytes());
+        out[2..4].copy_from_slice(&peak.to_le_bytes());
+        out[4..8].copy_from_slice(&(self.samples.min(u64::from(u32::MAX)) as u32).to_le_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_are_calibrated() {
+        assert_eq!(reading_to_irradiance(0), 0.0);
+        assert!((reading_to_irradiance(255) - 0.30).abs() < 1e-12);
+        assert!((uv_index(0.25) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dose_accumulates_linearly() {
+        let mut t = DoseTracker::new(SkinType::III);
+        // Full-scale sun (0.3 W/m²) for 1000 s = 300 J/m² = 1 MED.
+        t.ingest(&[255; 1000], 1.0);
+        assert!((t.dose_fraction() - 1.0).abs() < 1e-9);
+        assert_eq!(t.exposure(), Exposure::Burned);
+    }
+
+    #[test]
+    fn exposure_thresholds() {
+        let mut t = DoseTracker::new(SkinType::I); // MED 200
+        assert_eq!(t.exposure(), Exposure::Safe);
+        t.ingest(&[255; 400], 1.0); // 120 J/m² = 60%
+        assert_eq!(t.exposure(), Exposure::Caution);
+        t.ingest(&[255; 400], 1.0);
+        assert_eq!(t.exposure(), Exposure::Burned);
+    }
+
+    #[test]
+    fn darker_skin_burns_slower() {
+        let mut light = DoseTracker::new(SkinType::I);
+        let mut dark = DoseTracker::new(SkinType::VI);
+        let batch = vec![200u8; 500];
+        light.ingest(&batch, 1.0);
+        dark.ingest(&batch, 1.0);
+        assert!(light.dose_fraction() > 4.0 * dark.dose_fraction());
+    }
+
+    #[test]
+    fn time_to_med_inverse_to_sun() {
+        let t = DoseTracker::new(SkinType::II); // MED 250
+        assert!((t.time_to_med_s(0.25) - 1000.0).abs() < 1e-9);
+        assert_eq!(t.time_to_med_s(0.0), f64::INFINITY);
+        let mut burned = DoseTracker::new(SkinType::I);
+        burned.ingest(&[255; 1000], 1.0);
+        assert_eq!(burned.time_to_med_s(0.1), 0.0);
+    }
+
+    #[test]
+    fn summary_packet_is_8_bytes_of_sense() {
+        let mut t = DoseTracker::new(SkinType::II);
+        t.ingest(&[128; 600], 1.0);
+        let pkt = t.summary_packet();
+        let dose = u16::from_le_bytes([pkt[0], pkt[1]]);
+        let samples = u32::from_le_bytes([pkt[4], pkt[5], pkt[6], pkt[7]]);
+        assert_eq!(samples, 600);
+        assert!(dose > 0);
+        // 8 summary bytes replace 600 raw bytes: a 75x reduction.
+        assert_eq!(pkt.len(), 8);
+    }
+
+    #[test]
+    fn peak_uvi_tracks_maximum() {
+        let mut t = DoseTracker::new(SkinType::IV);
+        t.ingest(&[10, 240, 50], 1.0);
+        let expect = uv_index(reading_to_irradiance(240));
+        assert!((t.peak_uvi() - expect).abs() < 1e-12);
+    }
+}

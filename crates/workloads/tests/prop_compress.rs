@@ -1,0 +1,48 @@
+//! Property tests: every compression stage is lossless on arbitrary
+//! inputs, and the full pipeline round-trips.
+
+use neofog_workloads::compress::{
+    compress, decompress, delta_decode, delta_encode, lzss_decode, lzss_encode,
+    packbits_decode, packbits_encode,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_pipeline_round_trips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn delta_round_trips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(delta_decode(&delta_encode(&data)), data);
+    }
+
+    #[test]
+    fn packbits_round_trips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(packbits_decode(&packbits_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn lzss_round_trips(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        prop_assert_eq!(lzss_decode(&lzss_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn runs_compress_repetitive_input(byte in any::<u8>(), reps in 100usize..5000) {
+        let data = vec![byte; reps];
+        let packed = compress(&data);
+        prop_assert!(packed.len() < data.len() / 8, "{} -> {}", data.len(), packed.len());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_garbage(data in prop::collection::vec(any::<u8>(), 0..512)) {
+        // Malformed streams must error, not panic or loop.
+        let _ = decompress(&data);
+        let _ = lzss_decode(&data);
+        let _ = packbits_decode(&data);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests: numeric kernels (FFT, filters, NCC).
+
+use neofog_workloads::fft::{fft, fft_real, ifft, Complex};
+use neofog_workloads::noise::{detrend, median_filter, moving_average};
+use neofog_workloads::pattern::ncc;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_ifft_identity(values in prop::collection::vec(-100.0..100.0f64, 1..9)) {
+        // Pad to the next power of two.
+        let n = values.len().next_power_of_two();
+        let mut data: Vec<Complex> =
+            values.iter().map(|&v| Complex::new(v, 0.0)).collect();
+        data.resize(n, Complex::default());
+        let orig = data.clone();
+        fft(&mut data);
+        ifft(&mut data);
+        for (a, b) in orig.iter().zip(&data) {
+            prop_assert!((a.re - b.re).abs() < 1e-9);
+            prop_assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation(values in prop::collection::vec(-10.0..10.0f64, 8..64)) {
+        let n = values.len().next_power_of_two();
+        let mut signal = values.clone();
+        signal.resize(n, 0.0);
+        let time: f64 = signal.iter().map(|x| x * x).sum();
+        let freq: f64 =
+            fft_real(&signal).iter().map(|z| z.abs().powi(2)).sum::<f64>() / n as f64;
+        prop_assert!((time - freq).abs() < 1e-6 * time.max(1.0));
+    }
+
+    #[test]
+    fn filters_preserve_length_and_bounds(
+        values in prop::collection::vec(-50.0..50.0f64, 1..200),
+        w in prop::sample::select(vec![1usize, 3, 5, 9]),
+    ) {
+        for out in [moving_average(&values, w), median_filter(&values, w)] {
+            prop_assert_eq!(out.len(), values.len());
+            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for v in out {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn detrend_output_has_zero_mean(values in prop::collection::vec(-50.0..50.0f64, 2..200)) {
+        let out = detrend(&values);
+        let mean = out.iter().sum::<f64>() / out.len() as f64;
+        prop_assert!(mean.abs() < 1e-7, "mean {mean}");
+    }
+
+    #[test]
+    fn ncc_scores_bounded(
+        signal in prop::collection::vec(-10.0..10.0f64, 10..100),
+        template in prop::collection::vec(-10.0..10.0f64, 2..10),
+    ) {
+        for score in ncc(&signal, &template) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&score), "{score}");
+        }
+    }
+
+    #[test]
+    fn ncc_self_match_is_perfect(template in prop::collection::vec(-10.0..10.0f64, 3..20)) {
+        // Skip degenerate (constant) templates.
+        let mean = template.iter().sum::<f64>() / template.len() as f64;
+        let var: f64 = template.iter().map(|x| (x - mean).powi(2)).sum();
+        prop_assume!(var > 1e-6);
+        let scores = ncc(&template, &template);
+        prop_assert!((scores[0] - 1.0).abs() < 1e-9);
+    }
+}

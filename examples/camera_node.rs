@@ -1,0 +1,67 @@
+//! An RF-powered camera node (the WispCam row of Table 1), upgraded
+//! the NEOFog way: instead of backscattering raw pixels, the NV-mote
+//! buffers a tile, JPEG-compresses it in the fog, and ships the
+//! residue — with the real DCT codec.
+//!
+//! ```sh
+//! cargo run --release --example camera_node
+//! ```
+
+use neofog::prelude::*;
+use neofog::rf::RfTimings;
+use neofog::sensors::{SensorKind, SignalGenerator};
+use neofog::workloads::dct::{decode, encode, psnr, GrayImage};
+
+fn main() {
+    println!("RF-powered camera node — fog-side JPEG-style compression\n");
+
+    // One 64x64 tile from the LUPA1399 model.
+    let (w, h) = (64usize, 64usize);
+    let mut gen = SignalGenerator::new(SensorKind::Lupa1399, 77);
+    let image = GrayImage::new(w, h, gen.generate(w * h));
+
+    println!("tile: {w}x{h} = {} raw bytes", image.pixels().len());
+    let rf = RfTimings::paper_default();
+    let mut rows = Vec::new();
+    for quality in [20u8, 50, 80, 95] {
+        let packed = encode(&image, quality);
+        let restored = decode(&packed).expect("valid stream");
+        let fidelity = psnr(&image, &restored);
+        rows.push((quality, packed.len(), fidelity));
+    }
+    println!("quality  bytes  ratio   PSNR    airtime(raw->packed)");
+    for (q, bytes, fidelity) in rows {
+        println!(
+            "  q{q:<4} {bytes:6}  {:5.1}%  {fidelity:5.1} dB  {} -> {}",
+            bytes as f64 / (w * h) as f64 * 100.0,
+            rf.on_air_time(image.pixels().len() as u32),
+            rf.on_air_time(bytes as u32),
+        );
+    }
+
+    // Energy comparison: the paper's WispCam spends 15 minutes charging
+    // to send three seconds of raw pixels; the NEOFog node sends ~5%.
+    let raw_energy = rf.on_air_energy(image.pixels().len() as u32);
+    let packed = encode(&image, 50);
+    let packed_energy = rf.on_air_energy(packed.len() as u32);
+    println!(
+        "\non-air energy per tile: raw {} vs compressed {} ({:.1}x saved)",
+        raw_energy,
+        packed_energy,
+        raw_energy / packed_energy
+    );
+
+    // The intermittent-computing angle: even a multi-window encode
+    // completes on an NVP because the DCT state survives outages.
+    let inst = App::PatternMatching.naive_instructions() * 4; // encode-sized task
+    use neofog::nvp::{IntermittentEngine, PowerInterval, ProcessorKind};
+    let windows = vec![
+        PowerInterval::new(Duration::from_millis(20), Duration::from_millis(80));
+        20
+    ];
+    let nvp = IntermittentEngine::new(ProcessorKind::Nonvolatile).run(inst, &windows);
+    println!(
+        "encode task across 20 power windows on the NVP: completed={} over {} power cycles",
+        nvp.completed, nvp.power_cycles
+    );
+}

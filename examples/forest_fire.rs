@@ -1,0 +1,56 @@
+//! Forest fire monitoring under independent power traces (the §5.2.1
+//! scenario): compares load-balancing strategies on identical NEOFog
+//! hardware and shows the stored-energy dynamics.
+//!
+//! ```sh
+//! cargo run --release --example forest_fire
+//! ```
+
+use neofog::core::report::{downsample, render_table};
+use neofog::core::sim::BalancerKind;
+use neofog::prelude::*;
+
+fn main() {
+    println!("Forest fire monitoring — 10-node chain, windy canopy (independent traces)\n");
+
+    // Ablation: same FIOS/NVP/NVRF hardware, three balancers.
+    let mut rows = Vec::new();
+    for balancer in [BalancerKind::None, BalancerKind::Tree, BalancerKind::Distributed] {
+        let mut cfg =
+            SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 5);
+        cfg.balancer = balancer;
+        cfg.slots = 750; // 2.5 h
+        let result = Simulator::new(cfg).run();
+        let m = &result.metrics;
+        rows.push(vec![
+            format!("{balancer:?}"),
+            m.fog_processed().to_string(),
+            m.total_processed().to_string(),
+            m.balance_tasks_moved.to_string(),
+            m.balance_transfer_hops.to_string(),
+            m.balance_interruptions.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Balancer", "Fog", "Total", "Tasks moved", "Transfer hops", "Interrupted"],
+            &rows,
+        )
+    );
+
+    // Stored-energy curves of the first three nodes (Figure 9 style).
+    let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 5);
+    cfg.slots = 750;
+    cfg.trace_stored = true;
+    let result = Simulator::new(cfg).run();
+    println!("stored energy of nodes 1-3 (mJ, sampled across 2.5 h):");
+    for node in 0..3 {
+        let curve = downsample(&result.metrics.nodes[node].stored_series, 20);
+        let s: Vec<String> = curve.iter().map(|v| format!("{v:4.0}")).collect();
+        println!("  node {}: {}", node + 1, s.join(" "));
+    }
+    println!("\nNodes under moving shade swing widely and independently — exactly the");
+    println!("imbalance the distributed balancer exploits by shipping fog tasks to");
+    println!("whichever neighbour currently sits in the sun.");
+}

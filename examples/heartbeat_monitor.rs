@@ -1,0 +1,69 @@
+//! Heartbeat pattern matching — the paper's most compute-intensive
+//! application (Table 2: 59.5 % compute share even under the naive
+//! strategy), run here with the real NCC matcher on synthetic ECG.
+//!
+//! ```sh
+//! cargo run --release --example heartbeat_monitor
+//! ```
+
+use neofog::nvp::{IntermittentEngine, PowerInterval, ProcessorKind};
+use neofog::prelude::*;
+use neofog::sensors::{SensorKind, SignalGenerator};
+use neofog::workloads::pattern::{bytes_to_signal, find_matches};
+
+fn main() {
+    println!("Wearable heartbeat monitor — pattern matching at the edge\n");
+
+    // 1. Buffer a stretch of ECG into the NV FIFO.
+    let mut buffer = NvBuffer::new(4096);
+    let mut gen = SignalGenerator::new(SensorKind::EcgFrontend, 99);
+    let stream = gen.generate(4096);
+    for _ in 0..4096 {
+        buffer.push(1).expect("1-byte ECG samples fit");
+    }
+    assert!(buffer.is_full());
+    println!("NV buffer filled: {} samples / {} B", buffer.len(), buffer.used());
+
+    // 2. Match the stored beat template against the batch.
+    let signal = bytes_to_signal(&stream);
+    let template: Vec<f64> = (0..60)
+        .map(|t| {
+            let t = f64::from(t);
+            if t < 6.0 {
+                100.0 * (std::f64::consts::PI * t / 6.0).sin()
+            } else if t < 40.0 {
+                15.0 * (std::f64::consts::PI * (t - 6.0) / 34.0).sin()
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let beats = find_matches(&signal, &template, 0.8);
+    let bpm = beats.len() as f64 / (4096.0 / 200.0) * 60.0 / 60.0; // 200 samples/beat metaphor
+    println!(
+        "matched {} beats in the batch (best score {:.3}); ~{:.0} beats/100 s of signal",
+        beats.len(),
+        beats.iter().map(|m| m.score).fold(0.0, f64::max),
+        bpm * 100.0
+    );
+
+    // 3. The same workload on intermittent power: NVP vs VP.
+    println!("\nRunning the matching task under an unstable supply (5 ms on / 20 ms off):");
+    let window = PowerInterval::new(Duration::from_millis(5), Duration::from_millis(20));
+    let inst = App::PatternMatching.naive_instructions();
+    for kind in [ProcessorKind::Nonvolatile, ProcessorKind::Volatile] {
+        let report = IntermittentEngine::new(kind).run(inst, &vec![window; 60]);
+        println!(
+            "  {kind:?}: completed={} retired={} lost={} cycles={} energy={}",
+            report.completed, report.retired, report.lost, report.power_cycles, report.energy
+        );
+    }
+
+    // 4. Strategy comparison from the calibrated model.
+    let row = App::PatternMatching.energy_row();
+    println!(
+        "\nTable 2: buffering saves {:.1}% (least of all apps — computation already dominates at {:.1}%)",
+        -row.energy_saved_ratio * 100.0,
+        row.naive_compute_ratio * 100.0
+    );
+}

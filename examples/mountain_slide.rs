@@ -1,0 +1,75 @@
+//! Mountain-slide monitoring with NVD4Q node virtualization (§5.3):
+//! the events of interest happen in heavy rain, when solar income is
+//! minimal — exactly when a normally-off system goes dark.
+//!
+//! Demonstrates Algorithm 2 directly (NVRF state cloning + slotted
+//! time-division multiplexing) and sweeps the multiplexing factor in
+//! both sunny and rainy weather.
+//!
+//! ```sh
+//! cargo run --release --example mountain_slide
+//! ```
+
+use neofog::core::nvd4q::{CloneSet, VirtualizationManager};
+use neofog::core::report::render_table;
+use neofog::prelude::*;
+use neofog::types::LogicalId;
+
+fn main() {
+    println!("Mountain-slide monitoring — NVD4Q node virtualization\n");
+
+    // --- Algorithm 2 in miniature: a new node joins a clone set. -----
+    let mut manager = VirtualizationManager::new();
+    manager.add_set(CloneSet::new(LogicalId::new(0), vec![NodeId::new(0)]));
+
+    let mut veteran = NvRf::paper_default();
+    veteran.initialize(RfConfig::new(2026));
+
+    let mut newcomer = NvRf::paper_default();
+    let cost = manager
+        .join(LogicalId::new(0), NodeId::new(1), &mut newcomer, &veteran)
+        .expect("join succeeds");
+    println!(
+        "node n1 joined logical L0 by cloning the NVRF state in {} ({}):",
+        cost.time, cost.energy
+    );
+    let cfg = newcomer.config().expect("configured");
+    println!(
+        "  channel {}, network epoch {}, wakes every {} slots at phase {}\n",
+        cfg.channel, cfg.network_epoch, cfg.wake_interval_ticks, cfg.phase_offset_ticks
+    );
+    let set = manager.set_of(NodeId::new(1)).expect("member");
+    println!("clone set L0 duty cycle over six slots:");
+    for slot in 0..6u64 {
+        println!("  slot {slot}: {} on duty", set.active_member(slot));
+    }
+
+    // --- Weather sweep (Figures 12 and 13). --------------------------
+    for (weather, scenario) in
+        [("SUNNY", Scenario::MountainSunny), ("RAINY", Scenario::MountainRainy)]
+    {
+        println!("\n=== {weather} day, multiplexing sweep (2.5 h) ===");
+        let mut rows = Vec::new();
+        for factor in [1u32, 2, 3, 4] {
+            let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, scenario, 9);
+            cfg.multiplex = factor;
+            cfg.slots = 750;
+            let result = Simulator::new(cfg).run();
+            let m = &result.metrics;
+            rows.push(vec![
+                format!("{factor}00%"),
+                (factor * 10).to_string(),
+                m.total_captured().to_string(),
+                m.fog_processed().to_string(),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["Multiplexing", "Physical nodes", "Captured", "In-fog"], &rows)
+        );
+    }
+    println!("Sunny: the fog rate is already near its ceiling, so extra clones add little.");
+    println!("Rainy: each clone accumulates energy M times longer per activation, and the");
+    println!("logical topology never rebuilds (NVRF state is shared) — in-fog processing");
+    println!("roughly doubles by 300% and then saturates as successful sampling tops out.");
+}
