@@ -18,9 +18,13 @@ fn bench_compress(c: &mut Criterion) {
     ] {
         let mut gen = SignalGenerator::new(kind, 7);
         let data = gen.generate(65_536);
-        group.bench_with_input(BenchmarkId::new("compress", format!("{kind:?}")), &data, |b, d| {
-            b.iter(|| compress(black_box(d)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compress", format!("{kind:?}")),
+            &data,
+            |b, d| {
+                b.iter(|| compress(black_box(d)));
+            },
+        );
         let packed = compress(&data);
         group.bench_with_input(
             BenchmarkId::new("decompress", format!("{kind:?}")),

@@ -17,9 +17,13 @@ fn bench_dp(c: &mut Criterion) {
     for &max_time in &[60u64, 600, 6000] {
         let a: Vec<u64> = (0..32u64).map(|i| (i * 7) % 23 + 1).collect();
         let b: Vec<u64> = (0..32u64).map(|i| (i * 13) % 19 + 1).collect();
-        group.bench_with_input(BenchmarkId::new("maxtime", max_time), &max_time, |bench, &mt| {
-            bench.iter(|| partition_tasks(black_box(&a), black_box(&b), mt));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("maxtime", max_time),
+            &max_time,
+            |bench, &mt| {
+                bench.iter(|| partition_tasks(black_box(&a), black_box(&b), mt));
+            },
+        );
     }
     group.finish();
 }

@@ -7,8 +7,9 @@ use std::hint::black_box;
 fn bench_fft(c: &mut Criterion) {
     let mut group = c.benchmark_group("fft");
     for &n in &[256usize, 1024, 4096, 16384] {
-        let signal: Vec<f64> =
-            (0..n).map(|i| (i as f64 * 0.1).sin() + 0.3 * (i as f64 * 0.5).cos()).collect();
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.1).sin() + 0.3 * (i as f64 * 0.5).cos())
+            .collect();
         group.bench_with_input(BenchmarkId::new("fft_real", n), &signal, |b, s| {
             b.iter(|| fft_real(black_box(s)));
         });

@@ -25,7 +25,11 @@ fn bench_sim(c: &mut Criterion) {
             },
         );
     }
-    for balancer in [BalancerKind::None, BalancerKind::Tree, BalancerKind::Distributed] {
+    for balancer in [
+        BalancerKind::None,
+        BalancerKind::Tree,
+        BalancerKind::Distributed,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("balancer_ablation", format!("{balancer:?}")),
             &balancer,
@@ -40,17 +44,13 @@ fn bench_sim(c: &mut Criterion) {
     }
     // NVD4Q scaling: physical node count grows with the multiplex factor.
     for factor in [1u32, 3, 5] {
-        group.bench_with_input(
-            BenchmarkId::new("multiplex", factor),
-            &factor,
-            |b, &f| {
-                b.iter(|| {
-                    let mut cfg = quick(SystemKind::FiosNeoFog, 150);
-                    cfg.multiplex = f;
-                    Simulator::new(black_box(cfg)).run()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("multiplex", factor), &factor, |b, &f| {
+            b.iter(|| {
+                let mut cfg = quick(SystemKind::FiosNeoFog, 150);
+                cfg.multiplex = f;
+                Simulator::new(black_box(cfg)).run()
+            });
+        });
     }
     group.finish();
 }

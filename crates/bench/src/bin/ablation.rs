@@ -6,7 +6,7 @@ use neofog_core::experiment::ablation;
 use neofog_core::report::render_table;
 use neofog_energy::Scenario;
 
-fn main() {
+fn main() -> neofog_types::Result<()> {
     banner(
         "Technique ablation",
         "§5: 'quantify the contributions due to individual techniques employed'",
@@ -16,7 +16,7 @@ fn main() {
         ("very low power (rainy mountain)", Scenario::MountainRainy),
     ] {
         println!("--- {name} ---");
-        let rows_data = ablation(scenario, 2);
+        let rows_data = ablation(scenario, 2)?;
         let full_fog = rows_data[0].fog.max(1);
         let rows: Vec<Vec<String>> = rows_data
             .iter()
@@ -34,4 +34,5 @@ fn main() {
             render_table(&["Variant", "In-fog", "Total", "Fog vs full"], &rows)
         );
     }
+    Ok(())
 }

@@ -6,12 +6,12 @@ use neofog_core::experiment::{average_row, figure10_11};
 use neofog_core::report::render_table;
 use neofog_energy::Scenario;
 
-fn main() {
+fn main() -> neofog_types::Result<()> {
     banner(
         "Figure 11 (dependent power)",
         "paper avg: VP 13886 wake / 2494 cloud; NVP 12859 / 3439 total (3126 fog); NEOFog 6990 total (6418 fog); ideal 15000",
     );
-    let rows_data = figure10_11(Scenario::BridgeDependent, &[1, 2, 3, 4, 5]);
+    let rows_data = figure10_11(Scenario::BridgeDependent, &[1, 2, 3, 4, 5])?;
     let mut rows: Vec<Vec<String>> = Vec::new();
     for r in &rows_data {
         for s in &r.systems {
@@ -36,9 +36,16 @@ fn main() {
             s.total().to_string(),
         ]);
     }
-    println!("{}", render_table(&["Profile", "System", "Wakeups", "Cloud", "Fog", "Total"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["Profile", "System", "Wakeups", "Cloud", "Fog", "Total"],
+            &rows
+        )
+    );
     let vp = avg[0].total().max(1) as f64;
     let nvp = avg[1].total().max(1) as f64;
     let neo = avg[2].total() as f64;
     println!("Average network-output gains: NEOFog/VP = {:.1}X (paper 2.1X), NEOFog/NVP = {:.1}X (paper 1.7X)", neo / vp, neo / nvp);
+    Ok(())
 }

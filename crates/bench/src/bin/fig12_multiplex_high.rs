@@ -7,13 +7,13 @@ use neofog_core::experiment::multiplex_sweep;
 use neofog_core::report::{render_bars, render_table};
 use neofog_energy::Scenario;
 
-fn main() {
+fn main() -> neofog_types::Result<()> {
     banner(
         "Figure 12 (high power, independent variance)",
         "paper: VP w/o LB ~5000; NVP edges ~9500; multiplexing adds little",
     );
     let factors = [1u32, 2, 3, 4, 5];
-    let (points, vp) = multiplex_sweep(Scenario::MountainSunny, &factors, 3);
+    let (points, vp) = multiplex_sweep(Scenario::MountainSunny, &factors, 3)?;
     let mut rows = vec![vec![
         "VP w/o load balance".to_string(),
         "-".to_string(),
@@ -28,7 +28,10 @@ fn main() {
             p.fog_processed.to_string(),
         ]);
     }
-    println!("{}", render_table(&["Configuration", "Captured", "Processed", "In-fog"], &rows));
+    println!(
+        "{}",
+        render_table(&["Configuration", "Captured", "Processed", "In-fog"], &rows)
+    );
     let labels: Vec<String> = std::iter::once("VP w/o LB".to_string())
         .chain(points.iter().map(|p| format!("{}00%", p.factor)))
         .collect();
@@ -38,5 +41,9 @@ fn main() {
     println!("{}", render_bars(&labels, &values, 48));
     let base = points[0].fog_processed.max(1) as f64;
     let best = points.iter().map(|p| p.fog_processed).max().unwrap_or(0) as f64;
-    println!("Best multiplexing gain over 100%: {:.2}X (paper: minimal)", best / base);
+    println!(
+        "Best multiplexing gain over 100%: {:.2}X (paper: minimal)",
+        best / base
+    );
+    Ok(())
 }

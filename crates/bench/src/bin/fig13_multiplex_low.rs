@@ -8,13 +8,13 @@ use neofog_core::experiment::multiplex_sweep;
 use neofog_core::report::{render_bars, render_table};
 use neofog_energy::Scenario;
 
-fn main() {
+fn main() -> neofog_types::Result<()> {
     banner(
         "Figure 13 (very low power, dependent variation)",
         "paper: VP ~725 in-fog; NEOFog 100% ~2800; ~2X at 300%; saturates (sampling ~8000)",
     );
     let factors = [1u32, 2, 3, 4, 5];
-    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &factors, 3);
+    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &factors, 3)?;
     let mut rows = vec![vec![
         "VP w/o load balance".to_string(),
         "-".to_string(),
@@ -29,7 +29,10 @@ fn main() {
             p.fog_processed.to_string(),
         ]);
     }
-    println!("{}", render_table(&["Configuration", "Captured", "Processed", "In-fog"], &rows));
+    println!(
+        "{}",
+        render_table(&["Configuration", "Captured", "Processed", "In-fog"], &rows)
+    );
     let labels: Vec<String> = std::iter::once("VP w/o LB".to_string())
         .chain(points.iter().map(|p| format!("{}00%", p.factor)))
         .collect();
@@ -38,13 +41,23 @@ fn main() {
         .collect();
     println!("{}", render_bars(&labels, &values, 48));
     let base = points[0].fog_processed.max(1) as f64;
-    let at3 = points.iter().find(|p| p.factor == 3).map_or(0, |p| p.fog_processed) as f64;
-    let at4 = points.iter().find(|p| p.factor == 4).map_or(0, |p| p.fog_processed) as f64;
-    let at5 = points.iter().find(|p| p.factor == 5).map_or(0, |p| p.fog_processed) as f64;
+    let at3 = points
+        .iter()
+        .find(|p| p.factor == 3)
+        .map_or(0, |p| p.fog_processed) as f64;
+    let at4 = points
+        .iter()
+        .find(|p| p.factor == 4)
+        .map_or(0, |p| p.fog_processed) as f64;
+    let at5 = points
+        .iter()
+        .find(|p| p.factor == 5)
+        .map_or(0, |p| p.fog_processed) as f64;
     println!("Gain at 300% over 100%: {:.2}X (paper ~2X)", at3 / base);
     println!(
         "Saturation beyond 300%: 400% adds {:+.1}%, 500% adds {:+.1}%",
         (at4 / at3 - 1.0) * 100.0,
         (at5 / at4 - 1.0) * 100.0
     );
+    Ok(())
 }

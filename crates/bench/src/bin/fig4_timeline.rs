@@ -21,11 +21,18 @@ fn main() {
                 vec![
                     p.name.to_string(),
                     format!("{}", p.duration),
-                    if p.on_intermittent_power { "intermittent".into() } else { "stored".into() },
+                    if p.on_intermittent_power {
+                        "intermittent".into()
+                    } else {
+                        "stored".into()
+                    },
                 ]
             })
             .collect();
-        println!("{}", render_table(&["Phase", "Duration", "Power source"], &rows));
+        println!(
+            "{}",
+            render_table(&["Phase", "Duration", "Power source"], &rows)
+        );
         println!(
             "total: {}   stored-energy window: {}\n",
             tl.total(),

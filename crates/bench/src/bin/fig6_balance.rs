@@ -61,7 +61,10 @@ fn show(label: &str, balancer: &dyn LoadBalancer) {
         })
         .collect();
     println!("--- {label} ---");
-    println!("{}", render_table(&["node", "energy (mJ)", "tasks after"], &rows));
+    println!(
+        "{}",
+        render_table(&["node", "energy (mJ)", "tasks after"], &rows)
+    );
     let gained_tasks = (after.saturating_sub(before)) / 400_000;
     println!(
         "completable work: {before} -> {after} instructions ({:+.0}%), moved {} tasks over {} hops, {} interrupted regions",
@@ -92,7 +95,10 @@ fn main() {
     );
     show("(b) no load balance", &NoBalancer);
     show("(c) baseline up-down tree balance", &TreeBalancer::new());
-    show("(d) proposed distributed balance", &DistributedBalancer::new(60));
+    show(
+        "(d) proposed distributed balance",
+        &DistributedBalancer::new(60),
+    );
 
     // The Figure 6(c) failure: starve the root coordinator (node 5 of
     // 10, index 4) and watch the tree lose the region.

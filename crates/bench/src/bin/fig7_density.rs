@@ -55,7 +55,10 @@ fn main() {
     ];
     println!(
         "{}",
-        render_table(&["Deployment", "Jumps end-to-end", "End-to-end delivery"], &rows)
+        render_table(
+            &["Deployment", "Jumps end-to-end", "End-to-end delivery"],
+            &rows
+        )
     );
     println!(
         "Naive densification multiplies jumps by {:.1}x; NVD4Q keeps the virtual chain unchanged.",

@@ -5,14 +5,14 @@ use neofog_bench::banner;
 use neofog_core::experiment::figure9;
 use neofog_core::report::downsample;
 
-fn main() {
+fn main() -> neofog_types::Result<()> {
     banner(
         "Figure 9",
         "the unbalanced VP sits on a high stored level (it has nothing to \
          spend surplus on); balanced NVP systems run the store down by \
          doing fog work",
     );
-    let results = figure9(1);
+    let results = figure9(1)?;
     for node in 0..3 {
         println!("--- Node {} (stored energy, mJ, 0..300 min) ---", node + 1);
         for (label, metrics) in &results {
@@ -25,8 +25,12 @@ fn main() {
     println!("Capacitor-full rejection over the window (energy wasted because");
     println!("the node had nothing useful to spend surplus on):");
     for (label, metrics) in &results {
-        let rejected: f64 =
-            metrics.nodes.iter().take(3).map(|n| n.rejected.as_millijoules()).sum();
+        let rejected: f64 = metrics
+            .nodes
+            .iter()
+            .take(3)
+            .map(|n| n.rejected.as_millijoules())
+            .sum();
         let mean_stored: f64 = metrics
             .nodes
             .iter()
@@ -34,9 +38,15 @@ fn main() {
             .flat_map(|n| n.stored_series.iter())
             .map(|&v| f64::from(v))
             .sum::<f64>()
-            / metrics.nodes.iter().take(3).map(|n| n.stored_series.len()).sum::<usize>() as f64;
+            / metrics
+                .nodes
+                .iter()
+                .take(3)
+                .map(|n| n.stored_series.len())
+                .sum::<usize>() as f64;
         println!(
             "  {label:24} rejected {rejected:8.0} mJ across nodes 1-3, mean stored level {mean_stored:5.1} mJ"
         );
     }
+    Ok(())
 }

@@ -12,17 +12,16 @@ use neofog_core::SystemKind;
 use neofog_energy::Scenario;
 use std::time::Instant;
 
-fn main() {
+fn main() -> neofog_types::Result<()> {
     banner(
         "Fleet scale (§4)",
         "1000 nodes intra-chain; 1000-5000 nodes inter-chain with NVD4Q",
     );
     // Intra-chain: 100 independent 10-node chains (1000 nodes).
-    let mut base =
-        SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+    let mut base = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
     base.slots = 500;
     let t0 = Instant::now();
-    let intra = run_fleet(&base, 100);
+    let intra = run_fleet(&base, 100)?;
     let intra_secs = t0.elapsed().as_secs_f64();
 
     // Inter-chain: 100 chains at 5x multiplexing (5000 physical nodes).
@@ -30,7 +29,7 @@ fn main() {
     multi.slots = 500;
     multi.multiplex = 5;
     let t1 = Instant::now();
-    let inter = run_fleet(&multi, 100);
+    let inter = run_fleet(&multi, 100)?;
     let inter_secs = t1.elapsed().as_secs_f64();
 
     let fmt = |s: &neofog_core::fleet::FleetStat| {
@@ -63,8 +62,12 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["metric", "mean", "min", "p10", "p50", "p90", "max"], &rows)
+            render_table(
+                &["metric", "mean", "min", "p10", "p50", "p90", "max"],
+                &rows
+            )
         );
         println!("network-wide in-fog packages: {}\n", fleet.fog_sum);
     }
+    Ok(())
 }

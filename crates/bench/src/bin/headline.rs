@@ -5,9 +5,12 @@
 use neofog_bench::banner;
 use neofog_core::experiment::headline;
 
-fn main() {
-    banner("Headline (abstract)", "4.2X in-fog at baseline; 8X at 3X multiplexing");
-    let h = headline(3);
+fn main() -> neofog_types::Result<()> {
+    banner(
+        "Headline (abstract)",
+        "4.2X in-fog at baseline; 8X at 3X multiplexing",
+    );
+    let h = headline(3)?;
     println!(
         "in-fog gain over NOS-VP, baseline node count : {:.1}X (paper 4.2X)",
         h.baseline_gain
@@ -21,4 +24,5 @@ fn main() {
     println!("baseline is weaker in the rainy scenario (see EXPERIMENTS.md);");
     println!("the ordering and the ~2X step from baseline to 3X multiplexing");
     println!("match the paper.");
+    Ok(())
 }

@@ -25,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Existing System", "Energy Source", "Sensors", "Network Topology", "Transmitted Data"],
+            &[
+                "Existing System",
+                "Energy Source",
+                "Sensors",
+                "Network Topology",
+                "Transmitted Data"
+            ],
             &rows,
         )
     );

@@ -21,11 +21,11 @@ fn main() {
             vec![
                 app.name().to_string(),
                 r.naive_instructions.to_string(),
-                format!("{:.3}", r.naive_compute_nj),
-                format!("{:.1}", r.naive_tx_nj),
+                format!("{:.3}", r.naive_compute.as_nanojoules()),
+                format!("{:.1}", r.naive_tx.as_nanojoules()),
                 format!("{:.2}%", r.naive_compute_ratio * 100.0),
-                format!("{:.1}", r.buffered_compute_mj),
-                format!("{:.2}", r.buffered_tx_mj),
+                format!("{:.1}", r.buffered_compute.as_millijoules()),
+                format!("{:.2}", r.buffered_tx.as_millijoules()),
                 format!("{:.1}%", r.buffered_compute_ratio * 100.0),
                 percent(r.energy_saved_ratio),
             ]

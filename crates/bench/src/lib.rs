@@ -4,9 +4,6 @@
 //! paper's evaluation; `cargo bench` runs the Criterion micro-benches.
 //! The full-scale figure binaries should be run with `--release`.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 /// Prints the standard header for a figure/table binary.
 pub fn banner(what: &str, paper_says: &str) {
     println!("================================================================");

@@ -72,12 +72,7 @@ impl DistributedBalancer {
         ((secs * 1_000_000.0) / TIME_UNIT_US as f64).ceil() as u64
     }
 
-    fn balance_node(
-        &self,
-        chain: &mut ChainBalanceInput,
-        idx: usize,
-        report: &mut BalanceReport,
-    ) {
+    fn balance_node(&self, chain: &mut ChainBalanceInput, idx: usize, report: &mut BalanceReport) {
         let node = &chain.nodes[idx];
         if !node.alive {
             return;
@@ -119,7 +114,8 @@ impl DistributedBalancer {
                 Some(j) => {
                     let n = &chain.nodes[j];
                     if n.alive && n.spare_energy >= self.exchange_cost {
-                        let cap = n.affordable_instructions()
+                        let cap = n
+                            .affordable_instructions()
                             .saturating_sub(n.queued_instructions());
                         (n.throughput, cap)
                     } else {
@@ -130,7 +126,11 @@ impl DistributedBalancer {
             }
         };
         let left_idx = idx.checked_sub(1);
-        let right_idx = if idx + 1 < chain.nodes.len() { Some(idx + 1) } else { None };
+        let right_idx = if idx + 1 < chain.nodes.len() {
+            Some(idx + 1)
+        } else {
+            None
+        };
         let (lt, lcap) = side_state(left_idx);
         let (rt, rcap) = side_state(right_idx);
         if lcap == 0 && rcap == 0 {
@@ -139,8 +139,14 @@ impl DistributedBalancer {
             return;
         }
 
-        let a: Vec<u64> = surplus.iter().map(|t| Self::time_units(t.instructions, lt, lcap)).collect();
-        let b: Vec<u64> = surplus.iter().map(|t| Self::time_units(t.instructions, rt, rcap)).collect();
+        let a: Vec<u64> = surplus
+            .iter()
+            .map(|t| Self::time_units(t.instructions, lt, lcap))
+            .collect();
+        let b: Vec<u64> = surplus
+            .iter()
+            .map(|t| Self::time_units(t.instructions, rt, rcap))
+            .collect();
         let assignment = partition_tasks(&a, &b, self.max_time_units);
 
         // Per the paper, a receiver may end up over-assigned ("the
@@ -221,7 +227,11 @@ mod tests {
         assert!(
             !input.nodes[3].tasks.is_empty(),
             "overflow should reach node 3: {:?}",
-            input.nodes.iter().map(|n| n.tasks.len()).collect::<Vec<_>>()
+            input
+                .nodes
+                .iter()
+                .map(|n| n.tasks.len())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -271,13 +281,20 @@ mod tests {
     fn conserves_instructions() {
         let mut rng_outer = SimRng::seed_from(31);
         for _ in 0..40 {
-            let energies: Vec<f64> =
-                (0..10).map(|_| rng_outer.uniform(0.0, 4.0)).collect();
+            let energies: Vec<f64> = (0..10).map(|_| rng_outer.uniform(0.0, 4.0)).collect();
             let tasks: Vec<usize> = (0..10).map(|_| rng_outer.index(5)).collect();
             let mut input = chain(&energies, &tasks, 300_000);
-            let before: u64 = input.nodes.iter().map(|n| n.queued_instructions()).sum();
+            let before: u64 = input
+                .nodes
+                .iter()
+                .map(super::super::NodeBalanceState::queued_instructions)
+                .sum();
             DistributedBalancer::new(60).balance(&mut input, &mut SimRng::seed_from(4));
-            let after: u64 = input.nodes.iter().map(|n| n.queued_instructions()).sum();
+            let after: u64 = input
+                .nodes
+                .iter()
+                .map(super::super::NodeBalanceState::queued_instructions)
+                .sum();
             assert_eq!(before, after);
         }
     }
@@ -291,17 +308,27 @@ mod tests {
             spare_energy: neofog_types::Energy::from_millijoules(energy_mj),
             efficiency: 1.0 / 2.508,
             throughput,
-            tasks: (0..tasks).map(|k| crate::balance::FogTask::new(100_000, k as u64)).collect(),
+            tasks: (0..tasks)
+                .map(|k| crate::balance::FogTask::new(100_000, k as u64))
+                .collect(),
             alive: true,
         };
         let mut input = ChainBalanceInput {
-            nodes: vec![mk(83_333.0, 2.0, 0), mk(83_333.0, 0.05, 4), mk(4.0 * 83_333.0, 2.0, 0)],
+            nodes: vec![
+                mk(83_333.0, 2.0, 0),
+                mk(83_333.0, 0.05, 4),
+                mk(4.0 * 83_333.0, 2.0, 0),
+            ],
         };
         DistributedBalancer::new(60).balance(&mut input, &mut rng());
         assert!(
             input.nodes[2].tasks.len() > input.nodes[0].tasks.len(),
             "fast side should take more: {:?}",
-            input.nodes.iter().map(|n| n.tasks.len()).collect::<Vec<_>>()
+            input
+                .nodes
+                .iter()
+                .map(|n| n.tasks.len())
+                .collect::<Vec<_>>()
         );
     }
 }

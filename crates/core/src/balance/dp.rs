@@ -70,7 +70,11 @@ pub fn partition_tasks(a: &[u64], b: &[u64], max_time: u64) -> Assignment {
     assert_eq!(a.len(), b.len(), "per-side time arrays must pair up");
     let n = a.len();
     if n == 0 {
-        return Assignment { sides: Vec::new(), left_time: 0, right_time: 0 };
+        return Assignment {
+            sides: Vec::new(),
+            left_time: 0,
+            right_time: 0,
+        };
     }
     // The useful left budget never exceeds sum(a); cap by MAXTIME.
     // (Saturating: infeasible sides are encoded as huge times.)
@@ -82,7 +86,7 @@ pub fn partition_tasks(a: &[u64], b: &[u64], max_time: u64) -> Assignment {
     // bounded by MAXTIME which callers choose modestly.
     let width = cap + 1;
     let mut p = vec![vec![INF; n + 1]; width];
-    for row in p.iter_mut() {
+    for row in &mut p {
         row[0] = 0;
     }
     for k in 1..=n {
@@ -91,7 +95,11 @@ pub fn partition_tasks(a: &[u64], b: &[u64], max_time: u64) -> Assignment {
             // Task k to the right.
             let right = p[i][k - 1].saturating_add(bk);
             // Task k to the left (consumes ak of the budget).
-            let left = if (i as u64) >= ak { p[i - ak as usize][k - 1] } else { INF };
+            let left = if (i as u64) >= ak {
+                p[i - ak as usize][k - 1]
+            } else {
+                INF
+            };
             p[i][k] = right.min(left);
         }
     }
@@ -117,7 +125,11 @@ pub fn partition_tasks(a: &[u64], b: &[u64], max_time: u64) -> Assignment {
     for k in (1..=n).rev() {
         let (ak, bk) = (a[k - 1], b[k - 1]);
         let via_right = p[i][k - 1].saturating_add(bk);
-        let via_left = if (i as u64) >= ak { p[i - ak as usize][k - 1] } else { INF };
+        let via_left = if (i as u64) >= ak {
+            p[i - ak as usize][k - 1]
+        } else {
+            INF
+        };
         // The budget guard must be explicit: when BOTH sides are
         // infeasible (INF times), via_left can still compare smaller
         // than a saturated via_right.
@@ -131,7 +143,11 @@ pub fn partition_tasks(a: &[u64], b: &[u64], max_time: u64) -> Assignment {
         }
     }
 
-    Assignment { sides, left_time, right_time }
+    Assignment {
+        sides,
+        left_time,
+        right_time,
+    }
 }
 
 #[cfg(test)]

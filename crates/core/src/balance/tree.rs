@@ -30,7 +30,9 @@ impl TreeBalancer {
     /// exchange plus bookkeeping, ~1 mJ).
     #[must_use]
     pub fn new() -> Self {
-        TreeBalancer { coordination_cost: Energy::from_millijoules(1.0) }
+        TreeBalancer {
+            coordination_cost: Energy::from_millijoules(1.0),
+        }
     }
 
     /// Overrides the coordination cost.
@@ -88,7 +90,13 @@ impl TreeBalancer {
         pool.sort_by_key(|(_, task)| std::cmp::Reverse(task.instructions));
         let mut remaining: Vec<u64> = chain.nodes[lo..hi]
             .iter()
-            .map(|n| if n.alive { n.affordable_instructions() } else { 0 })
+            .map(|n| {
+                if n.alive {
+                    n.affordable_instructions()
+                } else {
+                    0
+                }
+            })
             .collect();
         let mut leftovers: Vec<(usize, FogTask)> = Vec::new();
         for (origin, task) in pool {
@@ -183,10 +191,17 @@ mod tests {
             let energies: Vec<f64> = (0..8).map(|_| rng.uniform(0.0, 20.0)).collect();
             let tasks: Vec<usize> = (0..8).map(|_| rng.index(6)).collect();
             let mut input = chain(&energies, &tasks, 200_000);
-            let before: u64 =
-                input.nodes.iter().map(|n| n.queued_instructions()).sum();
+            let before: u64 = input
+                .nodes
+                .iter()
+                .map(super::super::NodeBalanceState::queued_instructions)
+                .sum();
             TreeBalancer::new().balance(&mut input, &mut SimRng::seed_from(7));
-            let after: u64 = input.nodes.iter().map(|n| n.queued_instructions()).sum();
+            let after: u64 = input
+                .nodes
+                .iter()
+                .map(super::super::NodeBalanceState::queued_instructions)
+                .sum();
             assert_eq!(before, after, "instructions must be conserved");
         }
     }

@@ -5,6 +5,7 @@ use crate::metrics::NetworkMetrics;
 use crate::node::SystemKind;
 use crate::sim::{SimConfig, SimResult, Simulator};
 use neofog_energy::Scenario;
+use neofog_types::{NeoFogError, Result};
 use serde::{Deserialize, Serialize};
 
 /// The three-bar summary each power profile gets in Figures 10/11.
@@ -48,21 +49,27 @@ pub struct ProfileRow {
 
 /// Runs a batch of simulations in parallel (one thread each, capped by
 /// available parallelism).
-#[must_use]
-pub fn run_many(configs: Vec<SimConfig>) -> Vec<SimResult> {
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get()).min(16);
-    let mut results: Vec<Option<SimResult>> = configs.iter().map(|_| None).collect();
+///
+/// # Errors
+///
+/// Returns [`NeoFogError::Internal`] if a simulation worker thread
+/// panics or a result goes missing.
+pub fn run_many(configs: Vec<SimConfig>) -> Result<Vec<SimResult>> {
+    let workers = std::thread::available_parallelism()
+        .map_or(4, std::num::NonZero::get)
+        .min(16);
+    let expected = configs.len();
     let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
     let chunks: Vec<Vec<(usize, SimConfig)>> = jobs
         .chunks((jobs.len().max(1)).div_ceil(workers))
         .map(<[(usize, SimConfig)]>::to_vec)
         .collect();
-    let mut out: Vec<(usize, SimResult)> = Vec::with_capacity(results.len());
-    crossbeam::thread::scope(|scope| {
+    let mut out: Vec<(usize, SimResult)> = Vec::with_capacity(expected);
+    std::thread::scope(|scope| -> Result<()> {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     chunk
                         .into_iter()
                         .map(|(i, cfg)| (i, Simulator::new(cfg).run()))
@@ -71,20 +78,27 @@ pub fn run_many(configs: Vec<SimConfig>) -> Vec<SimResult> {
             })
             .collect();
         for h in handles {
-            out.extend(h.join().expect("simulation thread panicked"));
+            out.extend(
+                h.join()
+                    .map_err(|_| NeoFogError::internal("simulation worker thread panicked"))?,
+            );
         }
-    })
-    .expect("crossbeam scope");
-    for (i, r) in out {
-        results[i] = Some(r);
+        Ok(())
+    })?;
+    out.sort_unstable_by_key(|&(i, _)| i);
+    if out.len() != expected || out.iter().enumerate().any(|(k, &(i, _))| k != i) {
+        return Err(NeoFogError::internal("simulation batch lost a result"));
     }
-    results.into_iter().map(|r| r.expect("all results filled")).collect()
+    Ok(out.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Figures 10 (independent) and 11 (dependent): runs all three systems
 /// over the given power profiles.
-#[must_use]
-pub fn figure10_11(scenario: Scenario, profiles: &[u64]) -> Vec<ProfileRow> {
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn figure10_11(scenario: Scenario, profiles: &[u64]) -> Result<Vec<ProfileRow>> {
     let configs: Vec<SimConfig> = profiles
         .iter()
         .flat_map(|&p| {
@@ -93,17 +107,20 @@ pub fn figure10_11(scenario: Scenario, profiles: &[u64]) -> Vec<ProfileRow> {
                 .map(move |&s| SimConfig::paper_default(s, scenario, p))
         })
         .collect();
-    let results = run_many(configs);
-    profiles
+    let results = run_many(configs)?;
+    Ok(profiles
         .iter()
         .enumerate()
         .map(|(pi, &p)| ProfileRow {
             profile: p,
-            systems: (0..SystemKind::ALL.len())
-                .map(|si| SystemSummary::from_result(&results[pi * SystemKind::ALL.len() + si]))
+            systems: results
+                .iter()
+                .skip(pi * SystemKind::ALL.len())
+                .take(SystemKind::ALL.len())
+                .map(SystemSummary::from_result)
                 .collect(),
         })
-        .collect()
+        .collect())
 }
 
 /// Averages the per-system totals across profiles (the "Average"
@@ -127,13 +144,24 @@ pub fn average_row(rows: &[ProfileRow]) -> Vec<SystemSummary> {
 /// baseline tree balance and NVP with the proposed distributed balance
 /// — all on a bright daytime solar window where an unbalanced node's
 /// capacitor is "frequently full, meaning further energy was rejected".
-#[must_use]
-pub fn figure9(seed: u64) -> Vec<(&'static str, NetworkMetrics)> {
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn figure9(seed: u64) -> Result<Vec<(&'static str, NetworkMetrics)>> {
     use crate::sim::BalancerKind;
     let variants = [
         ("VP w/o load balance", SystemKind::NosVp, BalancerKind::None),
-        ("NVP + baseline tree LB", SystemKind::NosNvp, BalancerKind::Tree),
-        ("NVP + distributed LB", SystemKind::NosNvp, BalancerKind::Distributed),
+        (
+            "NVP + baseline tree LB",
+            SystemKind::NosNvp,
+            BalancerKind::Tree,
+        ),
+        (
+            "NVP + distributed LB",
+            SystemKind::NosNvp,
+            BalancerKind::Distributed,
+        ),
     ];
     let configs: Vec<SimConfig> = variants
         .iter()
@@ -145,11 +173,11 @@ pub fn figure9(seed: u64) -> Vec<(&'static str, NetworkMetrics)> {
             cfg
         })
         .collect();
-    run_many(configs)
+    Ok(run_many(configs)?
         .into_iter()
         .zip(variants)
         .map(|(r, (label, _, _))| (label, r.metrics))
-        .collect()
+        .collect())
 }
 
 /// One point of the Figure 12/13 multiplexing sweeps.
@@ -167,8 +195,15 @@ pub struct MultiplexPoint {
 
 /// Figures 12/13: NVD4Q multiplexing sweep. Returns the NEOFog points
 /// for each factor plus the VP-without-balancing reference.
-#[must_use]
-pub fn multiplex_sweep(scenario: Scenario, factors: &[u32], seed: u64) -> (Vec<MultiplexPoint>, u64) {
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn multiplex_sweep(
+    scenario: Scenario,
+    factors: &[u32],
+    seed: u64,
+) -> Result<(Vec<MultiplexPoint>, u64)> {
     let mut configs: Vec<SimConfig> = factors
         .iter()
         .map(|&f| {
@@ -178,8 +213,10 @@ pub fn multiplex_sweep(scenario: Scenario, factors: &[u32], seed: u64) -> (Vec<M
         })
         .collect();
     configs.push(SimConfig::paper_default(SystemKind::NosVp, scenario, seed));
-    let mut results = run_many(configs);
-    let vp = results.pop().expect("vp reference present");
+    let mut results = run_many(configs)?;
+    let vp = results
+        .pop()
+        .ok_or_else(|| NeoFogError::internal("multiplex sweep lost its VP reference run"))?;
     let points = results
         .iter()
         .zip(factors)
@@ -192,7 +229,7 @@ pub fn multiplex_sweep(scenario: Scenario, factors: &[u32], seed: u64) -> (Vec<M
         .collect();
     // The VP system delivers everything raw; its "in-fog" equivalent in
     // Figures 12/13 is its delivered package count.
-    (points, vp.metrics.total_processed())
+    Ok((points, vp.metrics.total_processed()))
 }
 
 /// The paper's headline numbers, derived from the low-power sweep:
@@ -221,8 +258,11 @@ pub struct AblationRow {
 /// The §5 "contributions due to individual techniques" study: start
 /// from the full FIOS-NEOFog node and remove one nonvolatility-
 /// exploiting technique at a time.
-#[must_use]
-pub fn ablation(scenario: Scenario, seed: u64) -> Vec<AblationRow> {
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn ablation(scenario: Scenario, seed: u64) -> Result<Vec<AblationRow>> {
     use crate::node::RadioControl;
     use crate::sim::BalancerKind;
     use neofog_energy::FrontEnd;
@@ -261,7 +301,7 @@ pub fn ablation(scenario: Scenario, seed: u64) -> Vec<AblationRow> {
 
     let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
     let configs: Vec<SimConfig> = variants.into_iter().map(|(_, c)| c).collect();
-    run_many(configs)
+    Ok(run_many(configs)?
         .into_iter()
         .zip(labels)
         .map(|(r, label)| AblationRow {
@@ -269,18 +309,26 @@ pub fn ablation(scenario: Scenario, seed: u64) -> Vec<AblationRow> {
             fog: r.metrics.fog_processed(),
             total: r.metrics.total_processed(),
         })
-        .collect()
+        .collect())
 }
 
 /// Computes the headline gains in the low-power (rainy) scenario.
-#[must_use]
-pub fn headline(seed: u64) -> Headline {
-    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &[1, 3], seed);
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn headline(seed: u64) -> Result<Headline> {
+    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &[1, 3], seed)?;
     let vp = vp.max(1) as f64;
-    Headline {
-        baseline_gain: points[0].fog_processed as f64 / vp,
-        multiplexed_gain: points[1].fog_processed as f64 / vp,
-    }
+    let [one, three] = points.as_slice() else {
+        return Err(NeoFogError::internal(
+            "headline sweep expects exactly two factors",
+        ));
+    };
+    Ok(Headline {
+        baseline_gain: one.fog_processed as f64 / vp,
+        multiplexed_gain: three.fog_processed as f64 / vp,
+    })
 }
 
 #[cfg(test)]
@@ -298,7 +346,7 @@ mod tests {
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
         shrink(&mut a);
         shrink(&mut b);
-        let results = run_many(vec![a, b]);
+        let results = run_many(vec![a, b]).expect("batch runs");
         assert_eq!(results[0].config.system, SystemKind::NosVp);
         assert_eq!(results[1].config.system, SystemKind::FiosNeoFog);
     }
@@ -309,7 +357,7 @@ mod tests {
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 7);
         shrink(&mut cfg);
         let serial = Simulator::new(cfg.clone()).run();
-        let parallel = run_many(vec![cfg]).remove(0);
+        let parallel = run_many(vec![cfg]).expect("batch runs").remove(0);
         assert_eq!(serial.metrics, parallel.metrics);
     }
 
@@ -319,17 +367,47 @@ mod tests {
             ProfileRow {
                 profile: 1,
                 systems: vec![
-                    SystemSummary { system: SystemKind::NosVp, wakeups: 10, cloud: 4, fog: 0 },
-                    SystemSummary { system: SystemKind::NosNvp, wakeups: 8, cloud: 1, fog: 5 },
-                    SystemSummary { system: SystemKind::FiosNeoFog, wakeups: 8, cloud: 1, fog: 9 },
+                    SystemSummary {
+                        system: SystemKind::NosVp,
+                        wakeups: 10,
+                        cloud: 4,
+                        fog: 0,
+                    },
+                    SystemSummary {
+                        system: SystemKind::NosNvp,
+                        wakeups: 8,
+                        cloud: 1,
+                        fog: 5,
+                    },
+                    SystemSummary {
+                        system: SystemKind::FiosNeoFog,
+                        wakeups: 8,
+                        cloud: 1,
+                        fog: 9,
+                    },
                 ],
             },
             ProfileRow {
                 profile: 2,
                 systems: vec![
-                    SystemSummary { system: SystemKind::NosVp, wakeups: 20, cloud: 8, fog: 0 },
-                    SystemSummary { system: SystemKind::NosNvp, wakeups: 10, cloud: 1, fog: 7 },
-                    SystemSummary { system: SystemKind::FiosNeoFog, wakeups: 10, cloud: 1, fog: 11 },
+                    SystemSummary {
+                        system: SystemKind::NosVp,
+                        wakeups: 20,
+                        cloud: 8,
+                        fog: 0,
+                    },
+                    SystemSummary {
+                        system: SystemKind::NosNvp,
+                        wakeups: 10,
+                        cloud: 1,
+                        fog: 7,
+                    },
+                    SystemSummary {
+                        system: SystemKind::FiosNeoFog,
+                        wakeups: 10,
+                        cloud: 1,
+                        fog: 11,
+                    },
                 ],
             },
         ];

@@ -15,6 +15,7 @@
 
 use crate::experiment::run_many;
 use crate::sim::SimConfig;
+use neofog_types::{NeoFogError, Result};
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics over per-chain outcomes.
@@ -80,9 +81,10 @@ pub struct FleetResult {
 /// Runs `chains` independent copies of `base` (seeded `base.seed`,
 /// `base.seed + 1`, …) in parallel and aggregates.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `chains` is zero.
+/// Returns [`NeoFogError::InvalidConfig`] if `chains` is zero and
+/// propagates [`run_many`] failures.
 ///
 /// # Examples
 ///
@@ -98,13 +100,14 @@ pub struct FleetResult {
 ///     1,
 /// );
 /// base.slots = 50;
-/// let fleet = run_fleet(&base, 20); // 200 nodes
+/// let fleet = run_fleet(&base, 20).expect("fleet runs"); // 200 nodes
 /// assert_eq!(fleet.chains, 20);
 /// assert!(fleet.fog.p90 >= fleet.fog.p10);
 /// ```
-#[must_use]
-pub fn run_fleet(base: &SimConfig, chains: usize) -> FleetResult {
-    assert!(chains > 0, "at least one chain required");
+pub fn run_fleet(base: &SimConfig, chains: usize) -> Result<FleetResult> {
+    if chains == 0 {
+        return Err(NeoFogError::invalid_config("at least one chain required"));
+    }
     let configs: Vec<SimConfig> = (0..chains)
         .map(|k| {
             let mut cfg = base.clone();
@@ -112,19 +115,27 @@ pub fn run_fleet(base: &SimConfig, chains: usize) -> FleetResult {
             cfg
         })
         .collect();
-    let results = run_many(configs);
-    let fog: Vec<f64> = results.iter().map(|r| r.metrics.fog_processed() as f64).collect();
-    let total: Vec<f64> = results.iter().map(|r| r.metrics.total_processed() as f64).collect();
-    let captured: Vec<f64> =
-        results.iter().map(|r| r.metrics.total_captured() as f64).collect();
-    FleetResult {
+    let results = run_many(configs)?;
+    let fog: Vec<f64> = results
+        .iter()
+        .map(|r| r.metrics.fog_processed() as f64)
+        .collect();
+    let total: Vec<f64> = results
+        .iter()
+        .map(|r| r.metrics.total_processed() as f64)
+        .collect();
+    let captured: Vec<f64> = results
+        .iter()
+        .map(|r| r.metrics.total_captured() as f64)
+        .collect();
+    Ok(FleetResult {
         chains,
         nodes: chains * base.positions * base.multiplex as usize,
         fog: FleetStat::from_values(&fog),
         total: FleetStat::from_values(&total),
         captured: FleetStat::from_values(&captured),
         fog_sum: results.iter().map(|r| r.metrics.fog_processed()).sum(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -152,7 +163,7 @@ mod tests {
 
     #[test]
     fn fleet_counts_nodes() {
-        let fleet = run_fleet(&base(40), 8);
+        let fleet = run_fleet(&base(40), 8).expect("fleet runs");
         assert_eq!(fleet.chains, 8);
         assert_eq!(fleet.nodes, 80);
         assert!(fleet.fog_sum > 0);
@@ -160,23 +171,26 @@ mod tests {
 
     #[test]
     fn chains_vary_but_cluster() {
-        let fleet = run_fleet(&base(120), 16);
+        let fleet = run_fleet(&base(120), 16).expect("fleet runs");
         // Independent seeds: some spread, but the population clusters
         // (p90 within ~3x of p10 for this scenario).
         assert!(fleet.fog.max > fleet.fog.min, "no variation is suspicious");
-        assert!(fleet.fog.p90 <= fleet.fog.p10 * 3.0 + 50.0, "{:?}", fleet.fog);
+        assert!(
+            fleet.fog.p90 <= fleet.fog.p10 * 3.0 + 50.0,
+            "{:?}",
+            fleet.fog
+        );
     }
 
     #[test]
     fn fleet_is_deterministic() {
-        let a = run_fleet(&base(40), 6);
-        let b = run_fleet(&base(40), 6);
+        let a = run_fleet(&base(40), 6).expect("fleet runs");
+        let b = run_fleet(&base(40), 6).expect("fleet runs");
         assert_eq!(a, b);
     }
 
     #[test]
-    #[should_panic(expected = "at least one chain")]
     fn zero_chains_rejected() {
-        let _ = run_fleet(&base(10), 0);
+        assert!(run_fleet(&base(10), 0).is_err());
     }
 }

@@ -28,9 +28,6 @@
 //! * [`table1`] — the catalog of deployed energy-harvesting WSN
 //!   systems (Table 1).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod balance;
 pub mod experiment;
 pub mod fleet;

@@ -58,7 +58,10 @@ impl NetworkMetrics {
     /// Creates zeroed metrics for `n` nodes.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        NetworkMetrics { nodes: vec![NodeMetrics::default(); n], ..Default::default() }
+        NetworkMetrics {
+            nodes: vec![NodeMetrics::default(); n],
+            ..Default::default()
+        }
     }
 
     /// Sum of node wakeups.

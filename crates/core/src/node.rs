@@ -35,8 +35,11 @@ pub enum SystemKind {
 
 impl SystemKind {
     /// All three systems in presentation order.
-    pub const ALL: [SystemKind; 3] =
-        [SystemKind::NosVp, SystemKind::NosNvp, SystemKind::FiosNeoFog];
+    pub const ALL: [SystemKind; 3] = [
+        SystemKind::NosVp,
+        SystemKind::NosNvp,
+        SystemKind::FiosNeoFog,
+    ];
 
     /// Display label used in figures.
     #[must_use]
@@ -144,7 +147,9 @@ impl SystemKind {
         let sample = Energy::from_microjoules(60.0); // sensing burst + ADC
         match self {
             // 300 us restart at MCU power, plus sensing.
-            SystemKind::NosVp => Power::from_milliwatts(0.209) * Duration::from_micros(300) + sample,
+            SystemKind::NosVp => {
+                Power::from_milliwatts(0.209) * Duration::from_micros(300) + sample
+            }
             // 32 us / 7 us restores are negligible next to sensing.
             SystemKind::NosNvp | SystemKind::FiosNeoFog => {
                 Power::from_milliwatts(0.209) * Duration::from_micros(32) + sample
@@ -187,8 +192,7 @@ impl RadioControl {
             RadioControl::Software => rf.active_power * rf.software_tx_fixed + air,
             RadioControl::NvmRestore => rf.active_power * Duration::from_millis(33) + air,
             RadioControl::Nvrf => {
-                rf.active_power
-                    * Duration::from_micros(u64::from(bytes) * rf.nvrf_tx_per_byte_us)
+                rf.active_power * Duration::from_micros(u64::from(bytes) * rf.nvrf_tx_per_byte_us)
                     + air
             }
         }
@@ -216,7 +220,11 @@ impl PackageSpec {
     /// makes load balancing and the fog-vs-cloud trade interesting).
     #[must_use]
     pub fn paper_default() -> Self {
-        PackageSpec { raw_bytes: 64, processed_bytes: 8, fog_instructions: 6_000_000 }
+        PackageSpec {
+            raw_bytes: 64,
+            processed_bytes: 8,
+            fog_instructions: 6_000_000,
+        }
     }
 
     /// The heavier forest/bridge kernel (volumetric-map reconstruction
@@ -225,7 +233,10 @@ impl PackageSpec {
     /// slots per package.
     #[must_use]
     pub fn heavy() -> Self {
-        PackageSpec { fog_instructions: 12_000_000, ..Self::paper_default() }
+        PackageSpec {
+            fog_instructions: 12_000_000,
+            ..Self::paper_default()
+        }
     }
 
     /// Compression/reduction ratio of the fog path.

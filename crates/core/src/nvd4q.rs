@@ -15,7 +15,7 @@ use neofog_net::slots::{clone_schedules, SlotSchedule};
 use neofog_rf::{NvRf, RadioCost};
 use neofog_types::{LogicalId, NeoFogError, NodeId, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The clones implementing one logical node.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -39,7 +39,11 @@ impl CloneSet {
     pub fn new(logical: LogicalId, members: Vec<NodeId>) -> Self {
         assert!(!members.is_empty(), "a clone set needs at least one member");
         let schedules = clone_schedules(members.len() as u32);
-        CloneSet { logical, members, schedules }
+        CloneSet {
+            logical,
+            members,
+            schedules,
+        }
     }
 
     /// The multiplexing factor `M`.
@@ -75,7 +79,7 @@ impl CloneSet {
 #[derive(Debug, Clone, Default)]
 pub struct VirtualizationManager {
     sets: Vec<CloneSet>,
-    by_member: HashMap<NodeId, usize>,
+    by_member: BTreeMap<NodeId, usize>,
 }
 
 impl VirtualizationManager {
@@ -98,8 +102,7 @@ impl VirtualizationManager {
         assert!(factor > 0, "multiplexing factor must be positive");
         let mut mgr = Self::new();
         for l in 0..logical_count {
-            let members: Vec<NodeId> =
-                (0..factor).map(|k| NodeId::new(l * factor + k)).collect();
+            let members: Vec<NodeId> = (0..factor).map(|k| NodeId::new(l * factor + k)).collect();
             mgr.add_set(CloneSet::new(LogicalId::new(l), members));
         }
         mgr
@@ -194,7 +197,10 @@ mod tests {
         assert_eq!(mgr.physical_count(), 30);
         let set = mgr.set_of(NodeId::new(7)).unwrap();
         assert_eq!(set.logical, LogicalId::new(2));
-        assert_eq!(set.members, vec![NodeId::new(6), NodeId::new(7), NodeId::new(8)]);
+        assert_eq!(
+            set.members,
+            vec![NodeId::new(6), NodeId::new(7), NodeId::new(8)]
+        );
     }
 
     #[test]
@@ -229,7 +235,10 @@ mod tests {
         let mut mgr = VirtualizationManager::new();
         mgr.add_set(CloneSet::new(LogicalId::new(0), vec![NodeId::new(0)]));
         let mut source = NvRf::paper_default();
-        source.initialize(RfConfig { channel: 20, ..RfConfig::new(5) });
+        source.initialize(RfConfig {
+            channel: 20,
+            ..RfConfig::new(5)
+        });
         let mut joiner = NvRf::paper_default();
         let cost = mgr
             .join(LogicalId::new(0), NodeId::new(1), &mut joiner, &source)
@@ -248,7 +257,9 @@ mod tests {
         let mut src = NvRf::paper_default();
         src.initialize(RfConfig::new(1));
         let mut rf = NvRf::paper_default();
-        let err = mgr.join(LogicalId::new(0), NodeId::new(1), &mut rf, &src).unwrap_err();
+        let err = mgr
+            .join(LogicalId::new(0), NodeId::new(1), &mut rf, &src)
+            .unwrap_err();
         assert!(matches!(err, NeoFogError::InvalidConfig { .. }));
     }
 
@@ -257,7 +268,9 @@ mod tests {
         let mut mgr = VirtualizationManager::uniform(1, 1);
         let src = NvRf::paper_default(); // never initialized
         let mut rf = NvRf::paper_default();
-        assert!(mgr.join(LogicalId::new(0), NodeId::new(9), &mut rf, &src).is_err());
+        assert!(mgr
+            .join(LogicalId::new(0), NodeId::new(9), &mut rf, &src)
+            .is_err());
     }
 
     #[test]
@@ -266,6 +279,8 @@ mod tests {
         let mut src = NvRf::paper_default();
         src.initialize(RfConfig::new(1));
         let mut rf = NvRf::paper_default();
-        assert!(mgr.join(LogicalId::new(3), NodeId::new(0), &mut rf, &src).is_err());
+        assert!(mgr
+            .join(LogicalId::new(3), NodeId::new(0), &mut rf, &src)
+            .is_err());
     }
 }

@@ -128,11 +128,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_peak() {
-        let s = render_bars(
-            &["a".into(), "b".into()],
-            &[50.0, 100.0],
-            10,
-        );
+        let s = render_bars(&["a".into(), "b".into()], &[50.0, 100.0], 10);
         let a_bar = s.lines().next().unwrap().matches('#').count();
         let b_bar = s.lines().nth(1).unwrap().matches('#').count();
         assert_eq!(b_bar, 10);

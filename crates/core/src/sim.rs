@@ -64,9 +64,9 @@ impl BalancerKind {
         match self {
             BalancerKind::None => Box::new(NoBalancer),
             BalancerKind::Tree => Box::new(TreeBalancer::new()),
-            BalancerKind::Distributed => {
-                Box::new(DistributedBalancer::new(slot_len.as_secs_f64().ceil() as u64))
-            }
+            BalancerKind::Distributed => Box::new(DistributedBalancer::new(
+                slot_len.as_secs_f64().ceil() as u64,
+            )),
         }
     }
 
@@ -124,7 +124,10 @@ impl SimConfig {
         // The forest and bridge deployments run the heavier offloaded
         // kernels (volumetric reconstruction / structural models); the
         // mountain nodes run a lighter slide detector.
-        if matches!(scenario, Scenario::ForestIndependent | Scenario::BridgeDependent) {
+        if matches!(
+            scenario,
+            Scenario::ForestIndependent | Scenario::BridgeDependent
+        ) {
             node.package = crate::node::PackageSpec::heavy();
         }
         SimConfig {
@@ -138,8 +141,16 @@ impl SimConfig {
             seed,
             node,
             trace_stored: false,
-            weather_loss: if scenario == Scenario::MountainRainy { 0.03 } else { 0.0 },
-            sampling_success: if scenario == Scenario::MountainRainy { 0.55 } else { 1.0 },
+            weather_loss: if scenario == Scenario::MountainRainy {
+                0.03
+            } else {
+                0.0
+            },
+            sampling_success: if scenario == Scenario::MountainRainy {
+                0.55
+            } else {
+                1.0
+            },
             income_scale: 1.0,
         }
     }
@@ -197,21 +208,29 @@ impl SlotBudget {
         self.direct_left + cap.stored() * self.discharge_eff
     }
 
-    /// Spends `amount` (at the load), direct pool first. Returns false
-    /// (spending nothing) if unaffordable.
-    fn spend(&mut self, cap: &mut SuperCap, amount: Energy) -> bool {
+    /// Spends `amount` (at the load), direct pool first, booking the
+    /// delivery and both channels' conversion losses in the ledger.
+    /// Returns false (spending nothing) if unaffordable.
+    fn spend(&mut self, cap: &mut SuperCap, ledger: &mut EnergyLedger, amount: Energy) -> bool {
         if self.available(cap) < amount {
             return false;
         }
         let from_direct = amount.min(self.direct_left);
         self.direct_left -= from_direct;
+        if self.direct_eff > 0.0 && from_direct > Energy::ZERO {
+            // The direct channel is lossy at the point of use: raw
+            // income `from_direct / eff` delivered only `from_direct`.
+            ledger.debit_loss(from_direct / self.direct_eff - from_direct);
+        }
         let rest = amount - from_direct;
         if rest > Energy::ZERO {
             let gross = rest / self.discharge_eff;
             // Floating-point slack: available() said yes.
             let drawn = cap.discharge_up_to(gross);
             debug_assert!(drawn >= gross * 0.999);
+            ledger.debit_loss(drawn.saturating_sub(rest));
         }
+        ledger.debit_consumed(amount);
         true
     }
 
@@ -225,6 +244,116 @@ impl SlotBudget {
             left
         }
     }
+}
+
+/// Per-node, per-slot energy conservation ledger.
+///
+/// Every nanojoule that moves during a slot is booked into exactly one
+/// bucket, and [`EnergyLedger::settle`] asserts the slot balances:
+///
+/// ```text
+/// harvested + stored_before = consumed + leaked + lost + stored_after
+/// ```
+///
+/// * `harvested` — income after the harvester front-end.
+/// * `consumed` — energy delivered to loads at the point of use (wake,
+///   compute, radio) plus the RTC's intake; the RTC is treated as a
+///   terminal load because everything it banks is spent keeping time.
+/// * `leaked` — capacitor self-discharge.
+/// * `lost` — conversion losses (direct channel, discharge regulator,
+///   charge path) and energy a full capacitor rejects.
+///
+/// In release builds the ledger is a zero-sized no-op, so the
+/// accounting is a debug-build safety net rather than a runtime cost.
+/// The `NF-LEDGER-001` lint keeps every debit/credit site routed
+/// through it.
+#[cfg(debug_assertions)]
+#[derive(Debug, Clone, Copy)]
+struct EnergyLedger {
+    stored_before: Energy,
+    harvested: Energy,
+    consumed: Energy,
+    leaked: Energy,
+    lost: Energy,
+}
+
+#[cfg(debug_assertions)]
+impl EnergyLedger {
+    /// Opens a slot ledger against the capacitor's current level.
+    fn open(stored: Energy) -> Self {
+        EnergyLedger {
+            stored_before: stored,
+            harvested: Energy::ZERO,
+            consumed: Energy::ZERO,
+            leaked: Energy::ZERO,
+            lost: Energy::ZERO,
+        }
+    }
+
+    fn credit_harvest(&mut self, e: Energy) {
+        self.harvested += e;
+    }
+
+    fn debit_consumed(&mut self, e: Energy) {
+        self.consumed += e;
+    }
+
+    fn debit_leak(&mut self, e: Energy) {
+        self.leaked += e;
+    }
+
+    fn debit_loss(&mut self, e: Energy) {
+        self.lost += e;
+    }
+
+    /// Asserts the slot's conservation identity within float slack.
+    fn settle(&self, stored_after: Energy) {
+        let inflow = self.harvested.as_nanojoules() + self.stored_before.as_nanojoules();
+        let outflow = self.consumed.as_nanojoules()
+            + self.leaked.as_nanojoules()
+            + self.lost.as_nanojoules()
+            + stored_after.as_nanojoules();
+        let tol = 1e-6 * inflow.abs().max(outflow.abs()).max(1.0);
+        debug_assert!(
+            (inflow - outflow).abs() <= tol,
+            "slot energy not conserved (nJ): harvested {} + before {} != consumed {} \
+             + leaked {} + lost {} + after {}",
+            self.harvested.as_nanojoules(),
+            self.stored_before.as_nanojoules(),
+            self.consumed.as_nanojoules(),
+            self.leaked.as_nanojoules(),
+            self.lost.as_nanojoules(),
+            stored_after.as_nanojoules(),
+        );
+    }
+}
+
+/// Release builds: the ledger and all bookings compile away.
+#[cfg(not(debug_assertions))]
+#[derive(Debug, Clone, Copy)]
+struct EnergyLedger;
+
+#[cfg(not(debug_assertions))]
+impl EnergyLedger {
+    #[inline(always)]
+    fn open(_stored: Energy) -> Self {
+        EnergyLedger
+    }
+
+    #[inline(always)]
+    fn credit_harvest(&mut self, _e: Energy) {}
+
+    #[inline(always)]
+    fn debit_consumed(&mut self, _e: Energy) {}
+
+    #[inline(always)]
+    fn debit_leak(&mut self, _e: Energy) {}
+
+    #[inline(always)]
+    fn debit_loss(&mut self, _e: Energy) {}
+
+    #[inline(always)]
+    fn settle(&self, _stored_after: Energy) {}
 }
 
 /// Result of a run.
@@ -278,8 +407,9 @@ impl Simulator {
                 } else {
                     SlotSchedule::new(cfg.multiplex, k)
                 };
-                let trace =
-                    gen.node_trace(idx as u64, total_time, trace_dt).scaled(cfg.income_scale);
+                let trace = gen
+                    .node_trace(idx as u64, total_time, trace_dt)
+                    .scaled(cfg.income_scale);
                 let cap = SuperCap::new(cfg.node.cap_capacity)
                     .with_charge_efficiency(0.65)
                     .with_leak(cfg.node.cap_leak)
@@ -320,7 +450,10 @@ impl Simulator {
         for slot in 0..self.cfg.slots {
             self.step(slot);
         }
-        SimResult { config: self.cfg, metrics: self.metrics }
+        SimResult {
+            config: self.cfg,
+            metrics: self.metrics,
+        }
     }
 
     /// Advances one slot.
@@ -335,23 +468,37 @@ impl Simulator {
         let mut budgets: Vec<SlotBudget> = Vec::with_capacity(n_phys);
         let mut awake = vec![false; n_phys];
         let mut income_power = vec![Power::ZERO; n_phys];
+        // One conservation ledger per physical node, opened against the
+        // stored level entering the slot and settled at slot end.
+        let mut ledgers: Vec<EnergyLedger> = self
+            .nodes
+            .iter()
+            .map(|n| EnergyLedger::open(n.cap.stored()))
+            .collect();
 
         // --- 1. Harvest + 2. Wake/capture -------------------------------
         for i in 0..n_phys {
             let node = &mut self.nodes[i];
+            let ledger = &mut ledgers[i];
             let ambient = node.trace.energy_between(t0, t1);
             let mut income = ambient * node.cfg.harvester_efficiency;
-            income_power[i] = Power::from_milliwatts(
-                income.as_nanojoules() / slot_len.as_micros() as f64,
-            );
-            // RTC priority charging (takes only what it needs).
-            income = node.rtc.charge_with_priority(income);
+            ledger.credit_harvest(income);
+            income_power[i] =
+                Power::from_milliwatts(income.as_nanojoules() / slot_len.as_micros() as f64);
+            // RTC priority charging (takes only what it needs; the RTC
+            // is a terminal load, so its intake books as consumed).
+            let past_rtc = node.rtc.charge_with_priority(income);
+            ledger.debit_consumed(income.saturating_sub(past_rtc));
+            income = past_rtc;
             node.rtc.advance(slot_len);
             if !node.rtc.is_synchronized() {
-                // Attempt a resynchronization with stored energy.
-                node.rtc.charge_with_priority(node.cap.discharge_up_to(
-                    Energy::from_millijoules(1.0),
-                ));
+                // Attempt a resynchronization with stored energy. Any
+                // draw the RTC cannot bank has left the capacitor for
+                // good and books as lost.
+                let drawn = node.cap.discharge_up_to(Energy::from_millijoules(1.0));
+                let spare = node.rtc.charge_with_priority(drawn);
+                ledger.debit_consumed(drawn.saturating_sub(spare));
+                ledger.debit_loss(spare);
                 node.rtc.resynchronize(Energy::from_millijoules(0.5));
             }
 
@@ -362,8 +509,13 @@ impl Simulator {
                     discharge_eff: fe.discharge_efficiency(),
                 },
                 false => {
-                    // NOS: income goes through the capacitor first.
+                    // NOS: income goes through the capacitor first; the
+                    // charge path's conversion loss plus any overflow a
+                    // full capacitor rejects both book as lost.
+                    let level = node.cap.stored();
                     let rejected = node.cap.charge(income);
+                    ledger
+                        .debit_loss(income.saturating_sub(node.cap.stored().saturating_sub(level)));
                     self.metrics.nodes[i].rejected += rejected;
                     SlotBudget {
                         direct_left: Energy::ZERO,
@@ -378,7 +530,7 @@ impl Simulator {
             let scheduled = node.schedule.wakes_at(slot) && node.rtc.is_synchronized();
             if scheduled {
                 if budget.available(&node.cap) >= system.wake_threshold() {
-                    budget.spend(&mut node.cap, system.wake_cost());
+                    budget.spend(&mut node.cap, ledger, system.wake_cost());
                     awake[i] = true;
                     self.metrics.nodes[i].wakeups += 1;
                     // Capture one package (rain can spoil the sample).
@@ -415,13 +567,20 @@ impl Simulator {
 
         // --- 3. Balance fog tasks among awake representatives ----------
         if system.is_fog_capable() && !matches!(self.cfg.balancer, BalancerKind::None) {
-            self.balance_step(slot, &mut budgets, &awake, &income_power);
+            self.balance_step(slot, &mut budgets, &mut ledgers, &awake, &income_power);
         }
 
         // --- 4. Fog execution ------------------------------------------
         if system.is_fog_capable() {
             for i in 0..n_phys {
-                self.compute_step(i, slot, &mut budgets[i], income_power[i], slot_len);
+                self.compute_step(
+                    i,
+                    slot,
+                    &mut budgets[i],
+                    &mut ledgers[i],
+                    income_power[i],
+                    slot_len,
+                );
             }
         }
 
@@ -436,8 +595,7 @@ impl Simulator {
             // a half-finished head would waste the energy already sunk.
             let (stale, keep): (Vec<Package>, Vec<Package>) =
                 node.pending.drain(..).partition(|p| {
-                    p.fog_remaining == fog_len
-                        && slot.saturating_sub(p.created) > stale_after
+                    p.fog_remaining == fog_len && slot.saturating_sub(p.created) > stale_after
                 });
             node.pending = keep;
             if node.cap.fraction() > 0.6 {
@@ -448,18 +606,23 @@ impl Simulator {
         }
 
         // --- 5. Transmission -------------------------------------------
-        self.transmit_step(slot, &mut budgets, &awake);
+        self.transmit_step(slot, &mut budgets, &mut ledgers, &awake);
 
         // --- 6. Slot end -------------------------------------------------
         for (i, budget) in budgets.iter_mut().enumerate().take(n_phys) {
             let node = &mut self.nodes[i];
+            let ledger = &mut ledgers[i];
             // Unspent direct income charges the capacitor.
             let leftover = budget.leftover_income();
             if leftover > Energy::ZERO {
+                let level = node.cap.stored();
                 let rejected = node.cap.charge(leftover);
+                ledger.debit_loss(leftover.saturating_sub(node.cap.stored().saturating_sub(level)));
                 self.metrics.nodes[i].rejected += rejected;
             }
+            let level = node.cap.stored();
             node.cap.leak(slot_len);
+            ledger.debit_leak(level.saturating_sub(node.cap.stored()));
             if !system.retains_state() {
                 // Volatile node: queues evaporate at power-down.
                 let lost = node.pending.len() + node.outbox.len();
@@ -472,6 +635,7 @@ impl Simulator {
                     .stored_series
                     .push(node.cap.stored().as_millijoules() as f32);
             }
+            ledger.settle(node.cap.stored());
         }
     }
 
@@ -481,6 +645,7 @@ impl Simulator {
         &mut self,
         _slot: u64,
         budgets: &mut [SlotBudget],
+        ledgers: &mut [EnergyLedger],
         awake: &[bool],
         income_power: &[Power],
     ) {
@@ -500,15 +665,12 @@ impl Simulator {
                     let radio = self.cfg.node.radio;
                     let tx_reserve = radio.session_cost(&self.rf)
                         + radio.packet_cost(&self.rf, node.cfg.package.processed_bytes) * 2.0;
-                    let spare =
-                        budgets[*i].available(&node.cap).saturating_sub(tx_reserve);
+                    let spare = budgets[*i].available(&node.cap).saturating_sub(tx_reserve);
                     let tasks: Vec<FogTask> = node
                         .pending
                         .iter()
                         .enumerate()
-                        .map(|(k, p)| {
-                            FogTask::new(p.fog_remaining, (*i as u64) << 32 | k as u64)
-                        })
+                        .map(|(k, p)| FogTask::new(p.fog_remaining, (*i as u64) << 32 | k as u64))
                         .collect();
                     (
                         NodeBalanceState {
@@ -546,8 +708,11 @@ impl Simulator {
         // Apply the assignment: rebuild each representative's pending
         // queue from the post-balance task tags (a tag names the
         // original holder and its queue index).
-        let all_packages: Vec<Vec<Package>> =
-            self.nodes.iter_mut().map(|n| std::mem::take(&mut n.pending)).collect();
+        let all_packages: Vec<Vec<Package>> = self
+            .nodes
+            .iter_mut()
+            .map(|n| std::mem::take(&mut n.pending))
+            .collect();
         for (pos, state) in input.nodes.iter().enumerate() {
             let Some(dest) = rep_map[pos] else { continue };
             for task in &state.tasks {
@@ -567,16 +732,21 @@ impl Simulator {
 
         // Charge transfer costs: each hop moves one raw package.
         if report.transfer_hops > 0 {
-            let per_hop = self.cfg.node.radio.packet_cost(&self.rf, self.cfg.node.package.raw_bytes)
-                + self.cfg.system.rx_cost(&self.rf, self.cfg.node.package.raw_bytes);
-            let participants: Vec<usize> =
-                (0..self.nodes.len()).filter(|&i| awake[i]).collect();
+            let per_hop = self
+                .cfg
+                .node
+                .radio
+                .packet_cost(&self.rf, self.cfg.node.package.raw_bytes)
+                + self
+                    .cfg
+                    .system
+                    .rx_cost(&self.rf, self.cfg.node.package.raw_bytes);
+            let participants: Vec<usize> = (0..self.nodes.len()).filter(|&i| awake[i]).collect();
             if !participants.is_empty() {
-                let share = per_hop * report.transfer_hops as f64
-                    / participants.len() as f64;
+                let share = per_hop * report.transfer_hops as f64 / participants.len() as f64;
                 for i in participants {
                     let node = &mut self.nodes[i];
-                    budgets[i].spend(&mut node.cap, share);
+                    budgets[i].spend(&mut node.cap, &mut ledgers[i], share);
                     self.metrics.nodes[i].radio_energy += share;
                 }
             }
@@ -589,6 +759,7 @@ impl Simulator {
         i: usize,
         _slot: u64,
         budget: &mut SlotBudget,
+        ledger: &mut EnergyLedger,
         income: Power,
         slot_len: Duration,
     ) {
@@ -606,19 +777,22 @@ impl Simulator {
         // decision.
         let effective = income
             + Power::from_milliwatts(
-                0.5 * budget.available(&node.cap).as_nanojoules()
-                    / slot_len.as_micros() as f64,
+                0.5 * budget.available(&node.cap).as_nanojoules() / slot_len.as_micros() as f64,
             );
         let lvl = self.spendthrift.choose(effective);
-        let (epi, throughput) =
-            (lvl.energy_per_inst, self.spendthrift.throughput(effective));
+        let (epi, throughput) = (lvl.energy_per_inst, self.spendthrift.throughput(effective));
         // Keep a transmit reserve so computing never starves shipping.
         let reserve = node.cfg.radio.session_cost(&self.rf)
-            + node.cfg.radio.packet_cost(&self.rf, node.cfg.package.processed_bytes);
+            + node
+                .cfg
+                .radio
+                .packet_cost(&self.rf, node.cfg.package.processed_bytes);
         let mut time_left = (throughput * slot_len.as_secs_f64()) as u64;
         let mut done_any = false;
         while time_left > 0 {
-            let Some(pkg) = node.pending.first_mut() else { break };
+            let Some(pkg) = node.pending.first_mut() else {
+                break;
+            };
             let energy_afford = budget
                 .available(&node.cap)
                 .saturating_sub(reserve)
@@ -632,7 +806,7 @@ impl Simulator {
                 break;
             }
             let cost = epi * run as f64;
-            if !budget.spend(&mut node.cap, cost) {
+            if !budget.spend(&mut node.cap, ledger, cost) {
                 break;
             }
             self.metrics.nodes[i].compute_energy += cost;
@@ -650,7 +824,13 @@ impl Simulator {
     }
 
     /// Ships outboxes into the chain mesh.
-    fn transmit_step(&mut self, _slot: u64, budgets: &mut [SlotBudget], awake: &[bool]) {
+    fn transmit_step(
+        &mut self,
+        _slot: u64,
+        budgets: &mut [SlotBudget],
+        ledgers: &mut [EnergyLedger],
+        awake: &[bool],
+    ) {
         let radio = self.cfg.node.radio;
         let session = radio.session_cost(&self.rf);
         let n_pos = self.positions.len();
@@ -677,7 +857,7 @@ impl Simulator {
             if budgets[i].available(&self.nodes[i].cap) < session + first_cost {
                 continue;
             }
-            if !budgets[i].spend(&mut self.nodes[i].cap, session) {
+            if !budgets[i].spend(&mut self.nodes[i].cap, &mut ledgers[i], session) {
                 continue;
             }
             self.metrics.nodes[i].radio_energy += session;
@@ -689,7 +869,7 @@ impl Simulator {
                     self.nodes[i].cfg.package.raw_bytes
                 };
                 let cost = radio.packet_cost(&self.rf, bytes);
-                if !budgets[i].spend(&mut self.nodes[i].cap, cost) {
+                if !budgets[i].spend(&mut self.nodes[i].cap, &mut ledgers[i], cost) {
                     break;
                 }
                 self.metrics.nodes[i].radio_energy += cost;
@@ -726,11 +906,11 @@ impl Simulator {
             let Some(rep) = self.positions[pos].iter().copied().find(|&i| awake[i]) else {
                 continue;
             };
-            let per_byte = self.rf.active_power
-                * Duration::from_micros(2 * self.rf.on_air_per_byte_us);
+            let per_byte =
+                self.rf.active_power * Duration::from_micros(2 * self.rf.on_air_per_byte_us);
             let duty = per_byte * bytes as f64;
             let node = &mut self.nodes[rep];
-            if budgets[rep].spend(&mut node.cap, duty) {
+            if budgets[rep].spend(&mut node.cap, &mut ledgers[rep], duty) {
                 self.metrics.nodes[rep].radio_energy += duty;
             }
         }

@@ -37,7 +37,9 @@ fn arbitrary_chain() -> impl Strategy<Value = ChainBalanceInput> {
                 spare_energy: Energy::from_millijoules(energy_mj),
                 efficiency: 1.0 / 2.508,
                 throughput: 83_333.0,
-                tasks: (0..tasks).map(|k| FogTask::new(200_000, k as u64)).collect(),
+                tasks: (0..tasks)
+                    .map(|k| FogTask::new(200_000, k as u64))
+                    .collect(),
                 alive,
             })
             .collect();
@@ -81,10 +83,10 @@ proptest! {
             &TreeBalancer::new(),
         ] {
             let mut c = chain.clone();
-            let before: u64 = c.nodes.iter().map(|n| n.queued_instructions()).sum();
+            let before: u64 = c.nodes.iter().map(neofog_core::NodeBalanceState::queued_instructions).sum();
             let count_before: usize = c.nodes.iter().map(|n| n.tasks.len()).sum();
             balancer.balance(&mut c, &mut SimRng::seed_from(seed));
-            let after: u64 = c.nodes.iter().map(|n| n.queued_instructions()).sum();
+            let after: u64 = c.nodes.iter().map(neofog_core::NodeBalanceState::queued_instructions).sum();
             let count_after: usize = c.nodes.iter().map(|n| n.tasks.len()).sum();
             prop_assert_eq!(before, after, "{} lost instructions", balancer.name());
             prop_assert_eq!(count_before, count_after, "{} lost tasks", balancer.name());

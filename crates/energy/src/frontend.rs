@@ -69,13 +69,18 @@ impl FrontEnd {
     /// "more than half of the energy income is wasted", §2.1).
     #[must_use]
     pub fn nos() -> Self {
-        FrontEnd::SingleChannel { discharge_efficiency: 0.80 }
+        FrontEnd::SingleChannel {
+            discharge_efficiency: 0.80,
+        }
     }
 
     /// The paper's FIOS front-end with the 90 %-efficient direct path.
     #[must_use]
     pub fn fios() -> Self {
-        FrontEnd::DualChannel { direct_efficiency: 0.90, discharge_efficiency: 0.80 }
+        FrontEnd::DualChannel {
+            direct_efficiency: 0.90,
+            discharge_efficiency: 0.80,
+        }
     }
 
     /// `true` if this front-end has a direct source-to-load channel.
@@ -89,7 +94,9 @@ impl FrontEnd {
     pub fn direct_efficiency(&self) -> f64 {
         match self {
             FrontEnd::SingleChannel { .. } => 0.0,
-            FrontEnd::DualChannel { direct_efficiency, .. } => *direct_efficiency,
+            FrontEnd::DualChannel {
+                direct_efficiency, ..
+            } => *direct_efficiency,
         }
     }
 
@@ -97,8 +104,13 @@ impl FrontEnd {
     #[must_use]
     pub fn discharge_efficiency(&self) -> f64 {
         match self {
-            FrontEnd::SingleChannel { discharge_efficiency }
-            | FrontEnd::DualChannel { discharge_efficiency, .. } => *discharge_efficiency,
+            FrontEnd::SingleChannel {
+                discharge_efficiency,
+            }
+            | FrontEnd::DualChannel {
+                discharge_efficiency,
+                ..
+            } => *discharge_efficiency,
         }
     }
 
@@ -119,7 +131,9 @@ impl FrontEnd {
         let harvest = harvest.max_zero();
         let demand = demand.max_zero();
         match *self {
-            FrontEnd::SingleChannel { discharge_efficiency } => {
+            FrontEnd::SingleChannel {
+                discharge_efficiency,
+            } => {
                 let rejected = cap.charge(harvest);
                 let banked = harvest.saturating_sub(rejected) * cap.charge_efficiency();
                 let gross_needed = demand / discharge_efficiency;
@@ -133,7 +147,10 @@ impl FrontEnd {
                     shortfall: demand.saturating_sub(delivered),
                 }
             }
-            FrontEnd::DualChannel { direct_efficiency, discharge_efficiency } => {
+            FrontEnd::DualChannel {
+                direct_efficiency,
+                discharge_efficiency,
+            } => {
                 let direct_available = harvest * direct_efficiency;
                 let direct_used = direct_available.min(demand);
                 // Harvest not consumed by the direct path (input side).

@@ -67,7 +67,10 @@ impl Harvester {
     /// Creates a harvester with the kind's default efficiency.
     #[must_use]
     pub fn new(kind: HarvesterKind) -> Self {
-        Harvester { kind, efficiency: kind.conversion_efficiency() }
+        Harvester {
+            kind,
+            efficiency: kind.conversion_efficiency(),
+        }
     }
 
     /// Overrides the conversion efficiency.

@@ -36,9 +36,6 @@
 //! assert!(cap.stored() > Energy::ZERO);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod frontend;
 pub mod harvester;
 pub mod rtc;

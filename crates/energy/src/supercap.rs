@@ -79,7 +79,10 @@ impl SuperCap {
     /// Panics if `eta` is outside `(0, 1]`.
     #[must_use]
     pub fn with_charge_efficiency(mut self, eta: f64) -> Self {
-        assert!(eta > 0.0 && eta <= 1.0, "charge efficiency must be in (0, 1]");
+        assert!(
+            eta > 0.0 && eta <= 1.0,
+            "charge efficiency must be in (0, 1]"
+        );
         self.charge_efficiency = eta;
         self
     }

@@ -43,7 +43,10 @@ impl PowerTrace {
     pub fn constant(power: Power, total: Duration, dt: Duration) -> Self {
         assert!(!dt.is_zero(), "sample interval must be positive");
         let n = total.as_micros().div_ceil(dt.as_micros());
-        PowerTrace { dt, samples: vec![power; n as usize] }
+        PowerTrace {
+            dt,
+            samples: vec![power; n as usize],
+        }
     }
 
     /// Builds a trace by evaluating `f` at each sample midpoint.
@@ -52,7 +55,11 @@ impl PowerTrace {
         assert!(!dt.is_zero(), "sample interval must be positive");
         let n = total.as_micros().div_ceil(dt.as_micros());
         let samples = (0..n)
-            .map(|i| f(Duration::from_micros(i * dt.as_micros() + dt.as_micros() / 2)))
+            .map(|i| {
+                f(Duration::from_micros(
+                    i * dt.as_micros() + dt.as_micros() / 2,
+                ))
+            })
             .collect();
         PowerTrace { dt, samples }
     }
@@ -145,7 +152,10 @@ impl PowerTrace {
     ///
     /// Panics if the sample intervals differ.
     pub fn extend(&mut self, other: &PowerTrace) {
-        assert_eq!(self.dt, other.dt, "sample intervals must match to concatenate");
+        assert_eq!(
+            self.dt, other.dt,
+            "sample intervals must match to concatenate"
+        );
         self.samples.extend_from_slice(&other.samples);
     }
 }
@@ -230,7 +240,10 @@ impl TraceGenerator {
     /// Creates a generator for a scenario with a deterministic seed.
     #[must_use]
     pub fn new(scenario: Scenario, seed: u64) -> Self {
-        TraceGenerator { scenario, rng: SimRng::seed_from(seed) }
+        TraceGenerator {
+            scenario,
+            rng: SimRng::seed_from(seed),
+        }
     }
 
     /// The scenario this generator produces.
@@ -249,7 +262,9 @@ impl TraceGenerator {
             let base = self.base_curve(total, dt);
             (0..n).map(|i| self.perturb(&base, i as u64)).collect()
         } else {
-            (0..n).map(|i| self.independent_trace(total, dt, i as u64)).collect()
+            (0..n)
+                .map(|i| self.independent_trace(total, dt, i as u64))
+                .collect()
         }
     }
 
@@ -271,11 +286,31 @@ impl TraceGenerator {
         // scenario's variance; lengths of 20–120 samples mimic passing
         // clouds / moving leaves on a seconds-to-minutes timescale.
         vec![
-            Segment { mean: mean * (1.0 + var), jitter: 0.10, len_samples: 60 },
-            Segment { mean, jitter: 0.15, len_samples: 90 },
-            Segment { mean: mean * (1.0 - 0.6 * var), jitter: 0.20, len_samples: 45 },
-            Segment { mean: mean * (1.0 - var).max(0.05), jitter: 0.25, len_samples: 30 },
-            Segment { mean: mean * (1.0 + 0.5 * var), jitter: 0.10, len_samples: 120 },
+            Segment {
+                mean: mean * (1.0 + var),
+                jitter: 0.10,
+                len_samples: 60,
+            },
+            Segment {
+                mean,
+                jitter: 0.15,
+                len_samples: 90,
+            },
+            Segment {
+                mean: mean * (1.0 - 0.6 * var),
+                jitter: 0.20,
+                len_samples: 45,
+            },
+            Segment {
+                mean: mean * (1.0 - var).max(0.05),
+                jitter: 0.25,
+                len_samples: 30,
+            },
+            Segment {
+                mean: mean * (1.0 + 0.5 * var),
+                jitter: 0.10,
+                len_samples: 120,
+            },
         ]
     }
 
@@ -284,8 +319,15 @@ impl TraceGenerator {
         let library = self.segment_library();
         let n = total.as_micros().div_ceil(dt.as_micros());
         let mut samples = Vec::with_capacity(n as usize);
+        let fallback = Segment {
+            mean: self.scenario.mean_power().as_milliwatts(),
+            jitter: 0.1,
+            len_samples: 60,
+        };
         while (samples.len() as u64) < n {
-            let seg = *rng.pick(&library).expect("library is non-empty");
+            // The library is a non-empty constant table; the fallback
+            // segment only guards the type-level empty case.
+            let seg = *rng.pick(&library).unwrap_or(&fallback);
             let take = seg.len_samples.min((n as usize) - samples.len());
             for _ in 0..take {
                 let p = seg.mean * (1.0 + seg.jitter * (2.0 * rng.next_f64() - 1.0));
@@ -353,10 +395,7 @@ mod tests {
 
     #[test]
     fn partial_interval_integration() {
-        let t = PowerTrace::from_samples(
-            Duration::from_millis(1),
-            vec![mw(1.0), mw(2.0), mw(3.0)],
-        );
+        let t = PowerTrace::from_samples(Duration::from_millis(1), vec![mw(1.0), mw(2.0), mw(3.0)]);
         // [0.5ms, 2.5ms) = 0.5ms@1mW + 1ms@2mW + 0.5ms@3mW = 500+2000+1500 nJ
         let e = t.energy_between(Duration::from_micros(500), Duration::from_micros(2500));
         assert!((e.as_nanojoules() - 4000.0).abs() < 1e-9);
@@ -444,7 +483,8 @@ mod tests {
 
     #[test]
     fn extend_concatenates() {
-        let mut a = PowerTrace::constant(mw(1.0), Duration::from_millis(2), Duration::from_millis(1));
+        let mut a =
+            PowerTrace::constant(mw(1.0), Duration::from_millis(2), Duration::from_millis(1));
         let b = PowerTrace::constant(mw(2.0), Duration::from_millis(1), Duration::from_millis(1));
         a.extend(&b);
         assert_eq!(a.len(), 3);

@@ -20,9 +20,6 @@
 //!   mimicked by direct data transmission ... through virtual buffers
 //!   among nodes").
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod link;
 pub mod routing;
 pub mod slots;

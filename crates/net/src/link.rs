@@ -6,7 +6,7 @@
 
 use neofog_rf::{LossModel, Packet};
 use neofog_types::{NodeId, SimRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Delivery statistics of a link layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -39,7 +39,7 @@ pub struct LinkStats {
 #[derive(Debug, Clone)]
 pub struct LinkLayer {
     loss: LossModel,
-    inboxes: HashMap<NodeId, Vec<Packet>>,
+    inboxes: BTreeMap<NodeId, Vec<Packet>>,
     stats: LinkStats,
 }
 
@@ -47,7 +47,11 @@ impl LinkLayer {
     /// Creates a link layer with the given loss process.
     #[must_use]
     pub fn new(loss: LossModel) -> Self {
-        LinkLayer { loss, inboxes: HashMap::new(), stats: LinkStats::default() }
+        LinkLayer {
+            loss,
+            inboxes: BTreeMap::new(),
+            stats: LinkStats::default(),
+        }
     }
 
     /// Creates one with the paper's measured 99.25 % hop success.
@@ -107,7 +111,13 @@ mod tests {
     use neofog_types::PacketId;
 
     fn pkt(id: u64, dst: u32) -> Packet {
-        Packet::sized(PacketId::new(id), NodeId::new(99), NodeId::new(dst), PacketKind::RawData, 4)
+        Packet::sized(
+            PacketId::new(id),
+            NodeId::new(99),
+            NodeId::new(dst),
+            PacketKind::RawData,
+            4,
+        )
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::topology::ChainMesh;
 use neofog_types::{ChainId, NodeId, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The result of routing one packet hop-by-hop toward the sink.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,9 +42,9 @@ pub struct RouteOutcome {
 #[derive(Debug, Clone)]
 pub struct ChainRouter {
     chains: Vec<Vec<NodeId>>,
-    dead: HashSet<NodeId>,
+    dead: BTreeSet<NodeId>,
     /// Per-node next-hop toward the sink after recovery rewiring.
-    associated: HashMap<NodeId, NodeId>,
+    associated: BTreeMap<NodeId, NodeId>,
     orphan_scans: u64,
     rejoins: u64,
 }
@@ -53,13 +53,19 @@ impl ChainRouter {
     /// Builds a router over a mesh's chains with everyone alive.
     #[must_use]
     pub fn new(mesh: &ChainMesh) -> Self {
+        // `chain()` cannot fail for indices below `chain_count()`, so a
+        // missing chain is simply (and unreachably) skipped.
         let chains: Vec<Vec<NodeId>> = (0..mesh.chain_count())
-            .map(|c| mesh.chain(ChainId::new(c as u32)).expect("chain exists").to_vec())
+            .filter_map(|c| {
+                mesh.chain(ChainId::new(c as u32))
+                    .ok()
+                    .map(<[NodeId]>::to_vec)
+            })
             .collect();
         let mut router = ChainRouter {
             chains,
-            dead: HashSet::new(),
-            associated: HashMap::new(),
+            dead: BTreeSet::new(),
+            associated: BTreeMap::new(),
             orphan_scans: 0,
             rejoins: 0,
         };
@@ -70,8 +76,11 @@ impl ChainRouter {
     fn rebuild_associations(&mut self) {
         self.associated.clear();
         for chain in &self.chains {
-            let alive: Vec<NodeId> =
-                chain.iter().copied().filter(|n| !self.dead.contains(n)).collect();
+            let alive: Vec<NodeId> = chain
+                .iter()
+                .copied()
+                .filter(|n| !self.dead.contains(n))
+                .collect();
             for pair in alive.windows(2) {
                 // Next hop toward the sink (index 0 end).
                 self.associated.insert(pair[1], pair[0]);
@@ -118,7 +127,7 @@ impl ChainRouter {
     /// Replaces the alive/dead sets wholesale (used by the system
     /// simulator at each slot), rebuilding associations once.
     pub fn set_dead_set(&mut self, dead: impl IntoIterator<Item = NodeId>) {
-        let new_dead: HashSet<NodeId> = dead.into_iter().collect();
+        let new_dead: BTreeSet<NodeId> = dead.into_iter().collect();
         if new_dead != self.dead {
             // Count the deltas for the stats.
             self.orphan_scans += new_dead.difference(&self.dead).count() as u64;
@@ -179,7 +188,9 @@ mod tests {
     #[test]
     fn healthy_chain_routes_through_all_relays() {
         let router = ChainRouter::new(&mesh3());
-        let r = router.route_to_sink(ChainId::new(0), NodeId::new(2)).unwrap();
+        let r = router
+            .route_to_sink(ChainId::new(0), NodeId::new(2))
+            .unwrap();
         assert_eq!(r.path, vec![NodeId::new(1), NodeId::new(0)]);
         assert_eq!(r.skipped, 0);
     }
@@ -189,7 +200,9 @@ mod tests {
         // The paper's A->B->C example: B dies, A->C directly.
         let mut router = ChainRouter::new(&mesh3());
         router.mark_dead(NodeId::new(1));
-        let r = router.route_to_sink(ChainId::new(0), NodeId::new(2)).unwrap();
+        let r = router
+            .route_to_sink(ChainId::new(0), NodeId::new(2))
+            .unwrap();
         assert_eq!(r.path, vec![NodeId::new(0)]);
         assert_eq!(r.skipped, 1);
         assert_eq!(router.orphan_scans(), 1);
@@ -201,7 +214,9 @@ mod tests {
         let mut router = ChainRouter::new(&mesh3());
         router.mark_dead(NodeId::new(1));
         router.mark_alive(NodeId::new(1));
-        let r = router.route_to_sink(ChainId::new(0), NodeId::new(2)).unwrap();
+        let r = router
+            .route_to_sink(ChainId::new(0), NodeId::new(2))
+            .unwrap();
         assert_eq!(r.path, vec![NodeId::new(1), NodeId::new(0)]);
         assert_eq!(router.rejoins(), 1);
     }
@@ -229,7 +244,9 @@ mod tests {
     fn all_relays_dead_still_routes_to_none() {
         let mut router = ChainRouter::new(&mesh3());
         router.set_dead_set([NodeId::new(0), NodeId::new(1)]);
-        let r = router.route_to_sink(ChainId::new(0), NodeId::new(2)).unwrap();
+        let r = router
+            .route_to_sink(ChainId::new(0), NodeId::new(2))
+            .unwrap();
         assert!(r.path.is_empty());
         assert_eq!(r.skipped, 2);
     }
@@ -247,7 +264,11 @@ mod tests {
     #[test]
     fn unknown_chain_or_node_errors() {
         let router = ChainRouter::new(&mesh3());
-        assert!(router.route_to_sink(ChainId::new(7), NodeId::new(0)).is_err());
-        assert!(router.route_to_sink(ChainId::new(0), NodeId::new(42)).is_err());
+        assert!(router
+            .route_to_sink(ChainId::new(7), NodeId::new(0))
+            .is_err());
+        assert!(router
+            .route_to_sink(ChainId::new(0), NodeId::new(42))
+            .is_err());
     }
 }

@@ -39,7 +39,11 @@ impl SlotSchedule {
     /// The default schedule: wake every slot.
     #[must_use]
     pub fn every_slot() -> Self {
-        SlotSchedule { interval: 1, phase: 0, backoff: 1 }
+        SlotSchedule {
+            interval: 1,
+            phase: 0,
+            backoff: 1,
+        }
     }
 
     /// Creates a schedule waking every `interval` slots at `phase`.
@@ -51,7 +55,11 @@ impl SlotSchedule {
     pub fn new(interval: u32, phase: u32) -> Self {
         assert!(interval > 0, "interval must be positive");
         assert!(phase < interval, "phase must be below interval");
-        SlotSchedule { interval, phase, backoff: 1 }
+        SlotSchedule {
+            interval,
+            phase,
+            backoff: 1,
+        }
     }
 
     /// Wake period in slots.
@@ -143,8 +151,7 @@ mod tests {
         // Exactly one clone of a 3-clone set wakes at every slot.
         let schedules = clone_schedules(3);
         for slot in 0..30u64 {
-            let awake: Vec<_> =
-                schedules.iter().filter(|s| s.wakes_at(slot)).collect();
+            let awake: Vec<_> = schedules.iter().filter(|s| s.wakes_at(slot)).collect();
             assert_eq!(awake.len(), 1, "slot {slot}");
         }
     }
@@ -185,7 +192,10 @@ mod tests {
     #[test]
     fn wake_period_scales() {
         let s = SlotSchedule::new(3, 1);
-        assert_eq!(s.wake_period(Duration::from_secs(2)), Duration::from_secs(6));
+        assert_eq!(
+            s.wake_period(Duration::from_secs(2)),
+            Duration::from_secs(6)
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use neofog_types::{ChainId, NeoFogError, NodeId, Result};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A node's physical position in meters.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -43,15 +43,19 @@ impl Position {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChainMesh {
     chains: Vec<Vec<NodeId>>,
-    positions: HashMap<NodeId, Position>,
-    membership: HashMap<NodeId, (ChainId, usize)>,
+    positions: BTreeMap<NodeId, Position>,
+    membership: BTreeMap<NodeId, (ChainId, usize)>,
 }
 
 impl ChainMesh {
     /// Creates an empty mesh.
     #[must_use]
     pub fn new() -> Self {
-        ChainMesh { chains: Vec::new(), positions: HashMap::new(), membership: HashMap::new() }
+        ChainMesh {
+            chains: Vec::new(),
+            positions: BTreeMap::new(),
+            membership: BTreeMap::new(),
+        }
     }
 
     /// Builds a regular deployment: `chains` parallel chains of
@@ -64,13 +68,20 @@ impl ChainMesh {
     /// Panics if `chains` or `per_chain` is zero.
     #[must_use]
     pub fn grid(chains: usize, per_chain: usize, spacing: f64) -> Self {
-        assert!(chains > 0 && per_chain > 0, "grid dimensions must be positive");
+        assert!(
+            chains > 0 && per_chain > 0,
+            "grid dimensions must be positive"
+        );
         let mut mesh = ChainMesh::new();
         for c in 0..chains {
-            let ids: Vec<NodeId> =
-                (0..per_chain).map(|i| NodeId::new((c * per_chain + i) as u32)).collect();
+            let ids: Vec<NodeId> = (0..per_chain)
+                .map(|i| NodeId::new((c * per_chain + i) as u32))
+                .collect();
             let positions: Vec<Position> = (0..per_chain)
-                .map(|i| Position { x: i as f64 * spacing, y: c as f64 * spacing })
+                .map(|i| Position {
+                    x: i as f64 * spacing,
+                    y: c as f64 * spacing,
+                })
                 .collect();
             mesh.add_chain(&ids, &positions);
         }
@@ -244,7 +255,10 @@ mod tests {
     #[test]
     fn hops_and_positions() {
         let mesh = ChainMesh::single_chain(10, 15.0);
-        assert_eq!(mesh.hops_between(NodeId::new(0), NodeId::new(9)).unwrap(), 9);
+        assert_eq!(
+            mesh.hops_between(NodeId::new(0), NodeId::new(9)).unwrap(),
+            9
+        );
         let p9 = mesh.position(NodeId::new(9)).unwrap();
         assert_eq!(p9.x, 135.0);
         assert_eq!(mesh.relay_hops(), 9);

@@ -190,8 +190,12 @@ mod tests {
 
     #[test]
     fn volatile_policy_restarts_from_zero() {
-        let report =
-            simulate_policy(&spec(), CheckpointPolicy::None, 5_000, &[3_000, 3_000, 3_000]);
+        let report = simulate_policy(
+            &spec(),
+            CheckpointPolicy::None,
+            5_000,
+            &[3_000, 3_000, 3_000],
+        );
         assert!(!report.completed, "3k windows can never finish a 5k task");
         assert_eq!(report.useful_instructions, 3_000, "high-water mark");
         assert_eq!(report.reexecuted_instructions, 6_000);
@@ -215,10 +219,18 @@ mod tests {
     #[test]
     fn finer_periodic_intervals_trade_backups_for_reexecution() {
         let windows = vec![1_999; 30];
-        let coarse =
-            simulate_policy(&spec(), CheckpointPolicy::Periodic { interval: 1_000 }, 20_000, &windows);
-        let fine =
-            simulate_policy(&spec(), CheckpointPolicy::Periodic { interval: 100 }, 20_000, &windows);
+        let coarse = simulate_policy(
+            &spec(),
+            CheckpointPolicy::Periodic { interval: 1_000 },
+            20_000,
+            &windows,
+        );
+        let fine = simulate_policy(
+            &spec(),
+            CheckpointPolicy::Periodic { interval: 100 },
+            20_000,
+            &windows,
+        );
         assert!(fine.backups > coarse.backups);
         assert!(fine.reexecuted_instructions < coarse.reexecuted_instructions);
     }
@@ -228,7 +240,12 @@ mod tests {
         let windows = vec![1_500; 40];
         let task = 20_000;
         let e = simulate_policy(&spec(), CheckpointPolicy::OnPowerEmergency, task, &windows);
-        let p = simulate_policy(&spec(), CheckpointPolicy::Periodic { interval: 400 }, task, &windows);
+        let p = simulate_policy(
+            &spec(),
+            CheckpointPolicy::Periodic { interval: 400 },
+            task,
+            &windows,
+        );
         let n = simulate_policy(&spec(), CheckpointPolicy::None, task, &windows);
         assert!(e.efficiency() >= p.efficiency());
         assert!(p.efficiency() > n.efficiency());
@@ -244,8 +261,7 @@ mod tests {
 
     #[test]
     fn single_window_completion_pays_no_backup() {
-        let report =
-            simulate_policy(&spec(), CheckpointPolicy::OnPowerEmergency, 1_000, &[5_000]);
+        let report = simulate_policy(&spec(), CheckpointPolicy::OnPowerEmergency, 1_000, &[5_000]);
         assert!(report.completed);
         assert_eq!(report.backups, 0);
         let expect = spec().restore_energy + spec().execution_energy(1_000);

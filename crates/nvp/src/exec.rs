@@ -173,10 +173,8 @@ mod tests {
         // Under short windows the NVP's 7 µs restore vs the VP's 300 µs
         // restart plus progress retention yields the paper's 2.2x-5x.
         let window = PowerInterval::new(Duration::from_micros(800), ms(1));
-        let nvp = IntermittentEngine::new(ProcessorKind::Nonvolatile)
-            .forward_progress(window, 100);
-        let vp =
-            IntermittentEngine::new(ProcessorKind::Volatile).forward_progress(window, 100);
+        let nvp = IntermittentEngine::new(ProcessorKind::Nonvolatile).forward_progress(window, 100);
+        let vp = IntermittentEngine::new(ProcessorKind::Volatile).forward_progress(window, 100);
         // VP: (800-300)/12 = 41/window but all lost (task never ends);
         // retained progress counts only for NVP here. Compare retirement.
         assert!(nvp >= 2 * vp.max(1), "nvp {nvp} vs vp {vp}");

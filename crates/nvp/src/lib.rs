@@ -24,9 +24,6 @@
 //!   (Figure 2(b)) that enables the buffered
 //!   sensing→buffering→computing→compression→transmission strategy.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod checkpoint;
 pub mod exec;
 pub mod nvbuffer;

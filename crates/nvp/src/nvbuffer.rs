@@ -150,7 +150,9 @@ impl NvBuffer {
         if !self.fits(bytes) {
             self.discarded_samples += 1;
             self.discarded_bytes += u64::from(bytes);
-            return Err(NeoFogError::BufferFull { capacity: self.capacity });
+            return Err(NeoFogError::BufferFull {
+                capacity: self.capacity,
+            });
         }
         self.samples.push_back(bytes);
         self.used += bytes as usize;
@@ -170,7 +172,10 @@ impl NvBuffer {
         let sample_sizes: Vec<u32> = self.samples.drain(..).collect();
         let total_bytes = self.used;
         self.used = 0;
-        Batch { sample_sizes, total_bytes }
+        Batch {
+            sample_sizes,
+            total_bytes,
+        }
     }
 
     /// Iterates over buffered sample sizes, oldest first.

@@ -272,8 +272,7 @@ mod tests {
         let (_, restore_e) = p.power_restore();
         p.step(budget_for(&p, 10));
         p.power_failure(); // backup
-        let expected =
-            restore_e + p.spec().execution_energy(10) + p.spec().backup_energy;
+        let expected = restore_e + p.spec().execution_energy(10) + p.spec().backup_energy;
         assert!((p.energy_used().as_nanojoules() - expected.as_nanojoules()).abs() < 1e-9);
     }
 

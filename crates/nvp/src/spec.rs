@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn instruction_time_is_12us_at_1mhz() {
-        assert_eq!(ProcSpec::paper_nvp().instruction_time(), Duration::from_micros(12));
+        assert_eq!(
+            ProcSpec::paper_nvp().instruction_time(),
+            Duration::from_micros(12)
+        );
         assert_eq!(
             ProcSpec::paper_nvp().execution_time(1000),
             Duration::from_millis(12)
@@ -173,6 +176,9 @@ mod tests {
 
     #[test]
     fn nos_nvp_restore_is_32us() {
-        assert_eq!(ProcSpec::paper_nvp_nos().restore_time, Duration::from_micros(32));
+        assert_eq!(
+            ProcSpec::paper_nvp_nos().restore_time,
+            Duration::from_micros(32)
+        );
     }
 }

@@ -149,8 +149,11 @@ mod tests {
     #[test]
     fn higher_frequency_costs_more_per_instruction() {
         let p = SpendthriftPolicy::paper_default();
-        let epis: Vec<f64> =
-            p.levels().iter().map(|l| l.energy_per_inst.as_nanojoules()).collect();
+        let epis: Vec<f64> = p
+            .levels()
+            .iter()
+            .map(|l| l.energy_per_inst.as_nanojoules())
+            .collect();
         assert!(epis.windows(2).all(|w| w[0] < w[1]));
     }
 
@@ -166,8 +169,7 @@ mod tests {
     fn efficiency_is_higher_at_lower_income() {
         let p = SpendthriftPolicy::paper_default();
         assert!(
-            p.efficiency(Power::from_microwatts(50.0))
-                > p.efficiency(Power::from_milliwatts(5.0))
+            p.efficiency(Power::from_microwatts(50.0)) > p.efficiency(Power::from_milliwatts(5.0))
         );
     }
 

@@ -21,9 +21,6 @@
 //! radio models), [`packet`] (frames), [`loss`] (the measured 0.75 %
 //! weather-driven loss process).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod loss;
 pub mod model;
 pub mod packet;

@@ -34,7 +34,10 @@ impl LossModel {
     /// The measured model: 99.25 % per-hop success, clear weather.
     #[must_use]
     pub fn paper_default() -> Self {
-        LossModel { base_success: 0.9925, weather_loss: 0.0 }
+        LossModel {
+            base_success: 0.9925,
+            weather_loss: 0.0,
+        }
     }
 
     /// Creates a model with an explicit success probability.
@@ -44,8 +47,14 @@ impl LossModel {
     /// Panics if `success` is outside `[0, 1]`.
     #[must_use]
     pub fn with_success(success: f64) -> Self {
-        assert!((0.0..=1.0).contains(&success), "success must be a probability");
-        LossModel { base_success: success, weather_loss: 0.0 }
+        assert!(
+            (0.0..=1.0).contains(&success),
+            "success must be a probability"
+        );
+        LossModel {
+            base_success: success,
+            weather_loss: 0.0,
+        }
     }
 
     /// Adds weather-induced loss (e.g. 0.05 during heavy rain).

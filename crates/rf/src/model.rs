@@ -24,7 +24,10 @@ impl RadioCost {
     /// Combines two costs sequentially.
     #[must_use]
     pub fn then(self, other: RadioCost) -> RadioCost {
-        RadioCost { time: self.time + other.time, energy: self.energy + other.energy }
+        RadioCost {
+            time: self.time + other.time,
+            energy: self.energy + other.energy,
+        }
     }
 }
 
@@ -50,7 +53,12 @@ impl RfConfig {
     /// first Zigbee 2.4 GHz channel).
     #[must_use]
     pub fn new(network_epoch: u64) -> Self {
-        RfConfig { channel: 11, network_epoch, wake_interval_ticks: 1, phase_offset_ticks: 0 }
+        RfConfig {
+            channel: 11,
+            network_epoch,
+            wake_interval_ticks: 1,
+            phase_offset_ticks: 0,
+        }
     }
 }
 
@@ -98,7 +106,10 @@ impl SoftwareRf {
     /// Creates an unconfigured software-controlled radio.
     #[must_use]
     pub fn new(timings: RfTimings) -> Self {
-        SoftwareRf { timings, config: None }
+        SoftwareRf {
+            timings,
+            config: None,
+        }
     }
 
     /// Creates one with the paper's measured timings.
@@ -121,7 +132,10 @@ impl RadioModel for SoftwareRf {
 
     fn initialize(&mut self, config: RfConfig) -> RadioCost {
         self.config = Some(config);
-        RadioCost { time: self.timings.software_init, energy: self.timings.software_init_energy() }
+        RadioCost {
+            time: self.timings.software_init,
+            energy: self.timings.software_init_energy(),
+        }
     }
 
     fn power_failure(&mut self) {
@@ -169,7 +183,11 @@ impl NvRf {
     /// Creates an unconfigured NVRF.
     #[must_use]
     pub fn new(timings: RfTimings) -> Self {
-        NvRf { timings, config: None, autonomous_txs: 0 }
+        NvRf {
+            timings,
+            config: None,
+            autonomous_txs: 0,
+        }
     }
 
     /// Creates one with the paper's measured timings.
@@ -197,14 +215,17 @@ impl NvRf {
     /// Returns [`NeoFogError::InvalidConfig`] if the source NVRF has no
     /// configuration to clone.
     pub fn clone_state_from(&mut self, source: &NvRf) -> Result<RadioCost> {
-        let cfg =
-            source.config.clone().ok_or_else(|| {
-                NeoFogError::invalid_config("source NVRF holds no configuration")
-            })?;
+        let cfg = source
+            .config
+            .clone()
+            .ok_or_else(|| NeoFogError::invalid_config("source NVRF holds no configuration"))?;
         self.config = Some(cfg);
         // Register file is tens of bytes; model as a 32-byte exchange.
         let t = self.timings.nvrf_tx_time(32);
-        Ok(RadioCost { time: t, energy: self.timings.active_power * t })
+        Ok(RadioCost {
+            time: t,
+            energy: self.timings.active_power * t,
+        })
     }
 
     /// Updates the slot timer parameters (Algorithm 2 line 6: "update
@@ -238,7 +259,10 @@ impl RadioModel for NvRf {
 
     fn initialize(&mut self, config: RfConfig) -> RadioCost {
         self.config = Some(config);
-        RadioCost { time: self.timings.nvrf_init, energy: self.timings.nvrf_init_energy() }
+        RadioCost {
+            time: self.timings.nvrf_init,
+            energy: self.timings.nvrf_init_energy(),
+        }
     }
 
     fn power_failure(&mut self) {
@@ -320,7 +344,11 @@ mod tests {
     #[test]
     fn clone_state_copies_config() {
         let mut src = NvRf::paper_default();
-        src.initialize(RfConfig { channel: 15, network_epoch: 9, ..RfConfig::new(9) });
+        src.initialize(RfConfig {
+            channel: 15,
+            network_epoch: 9,
+            ..RfConfig::new(9)
+        });
         let mut dst = NvRf::paper_default();
         let cost = dst.clone_state_from(&src).unwrap();
         assert!(dst.is_ready());
@@ -354,8 +382,10 @@ mod tests {
 
     #[test]
     fn radios_are_object_safe() {
-        let mut radios: Vec<Box<dyn RadioModel>> =
-            vec![Box::new(SoftwareRf::paper_default()), Box::new(NvRf::paper_default())];
+        let mut radios: Vec<Box<dyn RadioModel>> = vec![
+            Box::new(SoftwareRf::paper_default()),
+            Box::new(NvRf::paper_default()),
+        ];
         for r in &mut radios {
             r.initialize(RfConfig::new(0));
             assert!(r.is_ready());

@@ -53,7 +53,14 @@ impl Packet {
     /// Creates a packet carrying only a length (simulation use).
     #[must_use]
     pub fn sized(id: PacketId, src: NodeId, dst: NodeId, kind: PacketKind, len: u32) -> Self {
-        Packet { id, src, dst, kind, payload_len: len, payload: Bytes::new() }
+        Packet {
+            id,
+            src,
+            dst,
+            kind,
+            payload_len: len,
+            payload: Bytes::new(),
+        }
     }
 
     /// Creates a packet carrying real bytes (example/binary use).
@@ -66,7 +73,14 @@ impl Packet {
         payload: Bytes,
     ) -> Self {
         let payload_len = payload.len() as u32;
-        Packet { id, src, dst, kind, payload_len, payload }
+        Packet {
+            id,
+            src,
+            dst,
+            kind,
+            payload_len,
+            payload,
+        }
     }
 
     /// Re-addresses the packet to the next hop, keeping the original
@@ -97,7 +111,8 @@ mod tests {
     #[test]
     fn payload_packet_derives_length() {
         let (p, s, d) = ids();
-        let pkt = Packet::with_payload(p, s, d, PacketKind::Processed, Bytes::from_static(b"hello"));
+        let pkt =
+            Packet::with_payload(p, s, d, PacketKind::Processed, Bytes::from_static(b"hello"));
         assert_eq!(pkt.payload_len, 5);
     }
 

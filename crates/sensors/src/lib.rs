@@ -14,9 +14,6 @@
 //! * [`signal`] — deterministic synthetic waveform generators for
 //!   temperature, acceleration, UV, heartbeat and image data.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod adc;
 pub mod signal;
 pub mod spec;

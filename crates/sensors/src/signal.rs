@@ -32,7 +32,11 @@ impl SignalGenerator {
     /// Creates a generator for a sensor kind with a deterministic seed.
     #[must_use]
     pub fn new(kind: SensorKind, seed: u64) -> Self {
-        SignalGenerator { kind, rng: SimRng::seed_from(seed), phase: 0.0 }
+        SignalGenerator {
+            kind,
+            rng: SimRng::seed_from(seed),
+            phase: 0.0,
+        }
     }
 
     /// The sensor kind being synthesized.
@@ -99,10 +103,11 @@ impl SignalGenerator {
                 128.0 + 15.0 * (std::f64::consts::PI * (t - 6.0) / 34.0).sin()
             } else {
                 128.0
-            // Bias the sub-LSB dither away from the quantization
-            // boundary so the quiet baseline digitizes to stable runs,
-            // as a real ADC with a steady electrode offset would.
-            } + 0.3 + 0.4 * (self.rng.next_f64() - 0.5);
+                // Bias the sub-LSB dither away from the quantization
+                // boundary so the quiet baseline digitizes to stable runs,
+                // as a real ADC with a steady electrode offset would.
+            } + 0.3
+                + 0.4 * (self.rng.next_f64() - 0.5);
             out.push(v.clamp(0.0, 255.0) as u8);
         }
         out
@@ -174,8 +179,7 @@ mod tests {
         ] {
             let mut gen = SignalGenerator::new(kind, 3);
             let s = gen.generate(8192);
-            let deltas: Vec<u8> =
-                s.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect();
+            let deltas: Vec<u8> = s.windows(2).map(|w| w[1].wrapping_sub(w[0])).collect();
             let h = entropy(&deltas);
             assert!(h < 5.0, "{kind:?} delta entropy {h} too high");
         }
@@ -186,8 +190,7 @@ mod tests {
         let mut gen = SignalGenerator::new(SensorKind::EcgFrontend, 5);
         let s = gen.generate(1000);
         // Peaks around the start of every 200-sample period.
-        let peaks: Vec<usize> =
-            (0..s.len()).filter(|&i| s[i] > 200).collect();
+        let peaks: Vec<usize> = (0..s.len()).filter(|&i| s[i] > 200).collect();
         assert!(!peaks.is_empty());
         for p in &peaks {
             assert!(p % 200 < 8, "peak at {p} out of QRS window");

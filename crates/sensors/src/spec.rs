@@ -163,9 +163,18 @@ mod tests {
     #[test]
     fn samples_to_fill_64k() {
         let buf = 64 * 1024;
-        assert_eq!(SensorSpec::of(SensorKind::EcgFrontend).samples_to_fill(buf), 65_536);
-        assert_eq!(SensorSpec::of(SensorKind::Tmp101).samples_to_fill(buf), 32_768);
-        assert_eq!(SensorSpec::of(SensorKind::Lis331dlh).samples_to_fill(buf), 10_922);
+        assert_eq!(
+            SensorSpec::of(SensorKind::EcgFrontend).samples_to_fill(buf),
+            65_536
+        );
+        assert_eq!(
+            SensorSpec::of(SensorKind::Tmp101).samples_to_fill(buf),
+            32_768
+        );
+        assert_eq!(
+            SensorSpec::of(SensorKind::Lis331dlh).samples_to_fill(buf),
+            10_922
+        );
     }
 
     #[test]

@@ -43,6 +43,12 @@ pub enum NeoFogError {
     /// A load-balance round was interrupted by power failure; no
     /// balancing takes place in that region for this period (§3.2).
     BalanceInterrupted,
+    /// An internal invariant was violated (a bug in the simulator, not
+    /// in the caller's configuration).
+    Internal {
+        /// Description of the broken invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NeoFogError {
@@ -51,7 +57,10 @@ impl fmt::Display for NeoFogError {
             NeoFogError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
             }
-            NeoFogError::EnergyDepleted { needed_nj, available_nj } => write!(
+            NeoFogError::EnergyDepleted {
+                needed_nj,
+                available_nj,
+            } => write!(
                 f,
                 "energy depleted: needed {needed_nj} nJ but only {available_nj} nJ stored"
             ),
@@ -68,6 +77,9 @@ impl fmt::Display for NeoFogError {
             NeoFogError::BalanceInterrupted => {
                 write!(f, "load-balance round interrupted by power failure")
             }
+            NeoFogError::Internal { reason } => {
+                write!(f, "internal invariant violated: {reason}")
+            }
         }
     }
 }
@@ -78,13 +90,23 @@ impl NeoFogError {
     /// Convenience constructor for [`NeoFogError::InvalidConfig`].
     #[must_use]
     pub fn invalid_config(reason: impl Into<String>) -> Self {
-        NeoFogError::InvalidConfig { reason: reason.into() }
+        NeoFogError::InvalidConfig {
+            reason: reason.into(),
+        }
     }
 
     /// Convenience constructor for [`NeoFogError::NotFound`].
     #[must_use]
     pub fn not_found(what: impl Into<String>) -> Self {
         NeoFogError::NotFound { what: what.into() }
+    }
+
+    /// Convenience constructor for [`NeoFogError::Internal`].
+    #[must_use]
+    pub fn internal(reason: impl Into<String>) -> Self {
+        NeoFogError::Internal {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -94,8 +116,14 @@ mod tests {
 
     #[test]
     fn displays_are_lowercase_and_informative() {
-        let e = NeoFogError::EnergyDepleted { needed_nj: 100, available_nj: 7 };
-        assert_eq!(e.to_string(), "energy depleted: needed 100 nJ but only 7 nJ stored");
+        let e = NeoFogError::EnergyDepleted {
+            needed_nj: 100,
+            available_nj: 7,
+        };
+        assert_eq!(
+            e.to_string(),
+            "energy depleted: needed 100 nJ but only 7 nJ stored"
+        );
         let e = NeoFogError::invalid_config("capacity must be positive");
         assert!(e.to_string().starts_with("invalid configuration"));
     }

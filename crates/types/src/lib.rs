@@ -27,9 +27,6 @@
 //! assert!((tx.as_nanojoules() - 2851.2).abs() < 1e-9);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod error;
 pub mod id;
 pub mod rng;

@@ -41,7 +41,12 @@ impl SimRng {
     pub fn seed_from(seed: u64) -> Self {
         let mut s = seed;
         // Avoid the all-zero state, which xoshiro cannot escape.
-        let state = [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
         SimRng { state }
     }
 

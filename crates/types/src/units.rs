@@ -434,7 +434,10 @@ impl Duration {
     /// Panics if `ms` is negative or not finite.
     #[must_use]
     pub fn from_millis_f64(ms: f64) -> Self {
-        assert!(ms.is_finite() && ms >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            ms.is_finite() && ms >= 0.0,
+            "duration must be finite and non-negative"
+        );
         Duration((ms * 1_000.0).round() as u64)
     }
 

@@ -17,12 +17,22 @@ use neofog_sensors::SensorKind;
 use neofog_types::Energy;
 use serde::{Deserialize, Serialize};
 
-/// Energy per instruction on the paper's NVP (nJ).
-pub const ENERGY_PER_INSTRUCTION_NJ: f64 = 2.508;
-/// On-air energy per transmitted byte (nJ).
-pub const ENERGY_PER_TX_BYTE_NJ: f64 = 2851.2;
 /// The NV buffer capacity the buffered strategy fills (bytes).
 pub const BUFFER_BYTES: u64 = 64 * 1024;
+
+/// Energy per instruction on the paper's NVP (Table 2: 2.508 nJ at
+/// 1 MHz / 0.209 mW, 12 cycles per instruction).
+#[must_use]
+pub fn energy_per_instruction() -> Energy {
+    Energy::from_nanojoules(2.508)
+}
+
+/// On-air energy per transmitted byte (Table 2: 89.1 mW × 32 µs =
+/// 2851.2 nJ).
+#[must_use]
+pub fn energy_per_tx_byte() -> Energy {
+    Energy::from_nanojoules(2851.2)
+}
 
 /// The two node-level strategies of §5.1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -110,28 +120,28 @@ impl App {
         }
     }
 
-    /// Measured compute energy of one buffered batch (Table 2, mJ).
+    /// Measured compute energy of one buffered batch (Table 2).
     #[must_use]
-    pub fn buffered_compute_mj(self) -> f64 {
-        match self {
+    pub fn buffered_compute_energy(self) -> Energy {
+        Energy::from_millijoules(match self {
             App::BridgeHealth => 81.7,
             App::UvMeter => 108.3,
             App::WsnTemp => 75.0,
             App::WsnAccel => 83.6,
             App::PatternMatching => 345.1,
-        }
+        })
     }
 
-    /// Measured transmit energy of one buffered batch (Table 2, mJ).
+    /// Measured transmit energy of one buffered batch (Table 2).
     #[must_use]
-    pub fn buffered_tx_mj(self) -> f64 {
-        match self {
+    pub fn buffered_tx_energy(self) -> Energy {
+        Energy::from_millijoules(match self {
             App::BridgeHealth => 6.95,
             App::UvMeter => 6.8,
             App::WsnTemp => 6.99,
             App::WsnAccel => 6.59,
             App::PatternMatching => 5.39,
-        }
+        })
     }
 
     /// Samples needed to fill the 64 KiB buffer.
@@ -144,7 +154,7 @@ impl App {
     /// batch compute energy.
     #[must_use]
     pub fn buffered_instructions(self) -> u64 {
-        (self.buffered_compute_mj() * 1e6 / ENERGY_PER_INSTRUCTION_NJ).round() as u64
+        (self.buffered_compute_energy() / energy_per_instruction()).round() as u64
     }
 
     /// Per-sample instructions under the buffered strategy.
@@ -157,7 +167,7 @@ impl App {
     /// batch TX energy.
     #[must_use]
     pub fn compressed_bytes(self) -> u32 {
-        (self.buffered_tx_mj() * 1e6 / ENERGY_PER_TX_BYTE_NJ).round() as u32
+        (self.buffered_tx_energy() / energy_per_tx_byte()).round() as u32
     }
 
     /// Achieved compression ratio (compressed/raw) of the batch.
@@ -169,34 +179,33 @@ impl App {
     /// Energy of one naive sample: compute + transmit (nJ).
     #[must_use]
     pub fn naive_sample_energy(self) -> Energy {
-        Energy::from_nanojoules(
-            self.naive_instructions() as f64 * ENERGY_PER_INSTRUCTION_NJ
-                + f64::from(self.payload_bytes()) * ENERGY_PER_TX_BYTE_NJ,
-        )
+        energy_per_instruction() * self.naive_instructions() as f64
+            + energy_per_tx_byte() * f64::from(self.payload_bytes())
     }
 
     /// Computes the full Table 2 row for this application.
     #[must_use]
     pub fn energy_row(self) -> AppEnergyRow {
-        let naive_compute_nj = self.naive_instructions() as f64 * ENERGY_PER_INSTRUCTION_NJ;
-        let naive_tx_nj = f64::from(self.payload_bytes()) * ENERGY_PER_TX_BYTE_NJ;
-        let naive_ratio = naive_compute_nj / (naive_compute_nj + naive_tx_nj);
-        let buf_c = self.buffered_compute_mj();
-        let buf_t = self.buffered_tx_mj();
+        let naive_compute = energy_per_instruction() * self.naive_instructions() as f64;
+        let naive_tx = energy_per_tx_byte() * f64::from(self.payload_bytes());
+        let naive_ratio = naive_compute / (naive_compute + naive_tx);
+        let buf_c = self.buffered_compute_energy();
+        let buf_t = self.buffered_tx_energy();
         let buffered_ratio = buf_c / (buf_c + buf_t);
         // Equations (4)-(6): scale the naive strategy to one buffer's
         // worth of data and compare.
-        let e_naive_mj = (naive_compute_nj + naive_tx_nj) * self.samples_per_batch() as f64 / 1e6;
-        let e_new_mj = buf_c + buf_t;
-        let saved_ratio = (e_new_mj - e_naive_mj) / e_naive_mj;
+        let e_naive = (naive_compute + naive_tx) * self.samples_per_batch() as f64;
+        let e_new = buf_c + buf_t;
+        let saved_ratio =
+            (e_new.as_millijoules() - e_naive.as_millijoules()) / e_naive.as_millijoules();
         AppEnergyRow {
             app: self,
             naive_instructions: self.naive_instructions(),
-            naive_compute_nj,
-            naive_tx_nj,
+            naive_compute,
+            naive_tx,
             naive_compute_ratio: naive_ratio,
-            buffered_compute_mj: buf_c,
-            buffered_tx_mj: buf_t,
+            buffered_compute: buf_c,
+            buffered_tx: buf_t,
             buffered_compute_ratio: buffered_ratio,
             energy_saved_ratio: saved_ratio,
         }
@@ -210,16 +219,16 @@ pub struct AppEnergyRow {
     pub app: App,
     /// Naive per-sample instruction count.
     pub naive_instructions: u64,
-    /// Naive per-sample compute energy (nJ).
-    pub naive_compute_nj: f64,
-    /// Naive per-sample transmit energy (nJ).
-    pub naive_tx_nj: f64,
+    /// Naive per-sample compute energy.
+    pub naive_compute: Energy,
+    /// Naive per-sample transmit energy.
+    pub naive_tx: Energy,
     /// Naive compute share of total energy.
     pub naive_compute_ratio: f64,
-    /// Buffered batch compute energy (mJ).
-    pub buffered_compute_mj: f64,
-    /// Buffered batch transmit energy (mJ).
-    pub buffered_tx_mj: f64,
+    /// Buffered batch compute energy.
+    pub buffered_compute: Energy,
+    /// Buffered batch transmit energy.
+    pub buffered_tx: Energy,
     /// Buffered compute share of total energy.
     pub buffered_compute_ratio: f64,
     /// Paper equation (6): `(E_new − E_naive)/E_naive` (negative =
@@ -236,7 +245,10 @@ mod tests {
         let expect = [1366.86, 1153.68, 140.448, 1196.316, 4188.36];
         for (app, nj) in App::ALL.iter().zip(expect) {
             let row = app.energy_row();
-            assert!((row.naive_compute_nj - nj).abs() < 1e-6, "{app:?}");
+            assert!(
+                (row.naive_compute.as_nanojoules() - nj).abs() < 1e-6,
+                "{app:?}"
+            );
         }
     }
 
@@ -245,7 +257,7 @@ mod tests {
         let expect = [22_809.6, 5_702.4, 5_702.4, 17_107.2, 2_851.2];
         for (app, nj) in App::ALL.iter().zip(expect) {
             let row = app.energy_row();
-            assert!((row.naive_tx_nj - nj).abs() < 1e-6, "{app:?}");
+            assert!((row.naive_tx.as_nanojoules() - nj).abs() < 1e-6, "{app:?}");
         }
     }
 
@@ -254,7 +266,11 @@ mod tests {
         let expect = [0.0565, 0.168, 0.024, 0.0653, 0.595];
         for (app, r) in App::ALL.iter().zip(expect) {
             let row = app.energy_row();
-            assert!((row.naive_compute_ratio - r).abs() < 0.001, "{app:?}: {}", row.naive_compute_ratio);
+            assert!(
+                (row.naive_compute_ratio - r).abs() < 0.001,
+                "{app:?}: {}",
+                row.naive_compute_ratio
+            );
         }
     }
 
@@ -293,10 +309,7 @@ mod tests {
         // the Table 2 batches land at the strong end (~3–4 %).
         for app in App::ALL {
             let ratio = app.compression_ratio();
-            assert!(
-                (0.028..=0.145).contains(&ratio),
-                "{app:?}: ratio {ratio}"
-            );
+            assert!((0.028..=0.145).contains(&ratio), "{app:?}: ratio {ratio}");
         }
     }
 

@@ -133,12 +133,16 @@ pub fn packbits_decode(data: &[u8]) -> Result<Vec<u8>> {
         if ctrl < 128 {
             let n = ctrl as usize + 1;
             if i + n > data.len() {
-                return Err(NeoFogError::invalid_config("packbits literal run truncated"));
+                return Err(NeoFogError::invalid_config(
+                    "packbits literal run truncated",
+                ));
             }
             out.extend_from_slice(&data[i..i + n]);
             i += n;
         } else if ctrl == 128 {
-            return Err(NeoFogError::invalid_config("packbits reserved control byte"));
+            return Err(NeoFogError::invalid_config(
+                "packbits reserved control byte",
+            ));
         } else {
             let n = 257 - ctrl as usize;
             let b = *data
@@ -327,10 +331,7 @@ mod tests {
             let mut gen = SignalGenerator::new(kind, seed);
             let data = gen.generate(65_536);
             let ratio = compression_ratio(&data);
-            assert!(
-                ratio <= 0.145,
-                "{kind:?}: ratio {ratio} outside paper band"
-            );
+            assert!(ratio <= 0.145, "{kind:?}: ratio {ratio} outside paper band");
             round_trip(&data);
         }
     }
@@ -385,7 +386,7 @@ mod tests {
         assert!(packbits_decode(&[5, 1, 2]).is_err()); // short literals
         assert!(packbits_decode(&[128]).is_err()); // reserved byte
         assert!(packbits_decode(&[255]).is_err()); // repeat w/o byte
-        // Back-reference before start.
+                                                   // Back-reference before start.
         assert!(lzss_decode(&[0b0000_0000, 0xFF, 0xFF]).is_err());
     }
 

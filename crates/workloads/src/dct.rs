@@ -52,12 +52,20 @@ impl GrayImage {
     /// block-aligned).
     #[must_use]
     pub fn new(width: usize, height: usize, pixels: Vec<u8>) -> Self {
-        assert_eq!(pixels.len(), width * height, "pixel count must match dimensions");
+        assert_eq!(
+            pixels.len(),
+            width * height,
+            "pixel count must match dimensions"
+        );
         assert!(
             width > 0 && height > 0 && width.is_multiple_of(BLOCK) && height.is_multiple_of(BLOCK),
             "dimensions must be positive multiples of {BLOCK}"
         );
-        GrayImage { width, height, pixels }
+        GrayImage {
+            width,
+            height,
+            pixels,
+        }
     }
 
     /// Image width in pixels.
@@ -104,8 +112,16 @@ pub fn dct2_block(block: &[f64; 64]) -> [f64; 64] {
                         * (std::f64::consts::PI * (2 * y + 1) as f64 * v as f64 / 16.0).cos();
                 }
             }
-            let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
-            let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cu = if u == 0 {
+                std::f64::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
+            let cv = if v == 0 {
+                std::f64::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
             *coeff = 0.25 * cu * cv * sum;
         }
     }
@@ -121,8 +137,16 @@ pub fn idct2_block(coeffs: &[f64; 64]) -> [f64; 64] {
             let mut sum = 0.0;
             for v in 0..BLOCK {
                 for u in 0..BLOCK {
-                    let cu = if u == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
-                    let cv = if v == 0 { std::f64::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    let cu = if u == 0 {
+                        std::f64::consts::FRAC_1_SQRT_2
+                    } else {
+                        1.0
+                    };
+                    let cv = if v == 0 {
+                        std::f64::consts::FRAC_1_SQRT_2
+                    } else {
+                        1.0
+                    };
                     sum += cu
                         * cv
                         * coeffs[v * BLOCK + u]
@@ -208,7 +232,9 @@ pub fn decode(data: &[u8]) -> Result<GrayImage> {
     let symbols = lossless_unpack(&data[6..])?;
     let expected = width * height * 2;
     if symbols.len() != expected {
-        return Err(NeoFogError::invalid_config("coefficient stream length mismatch"));
+        return Err(NeoFogError::invalid_config(
+            "coefficient stream length mismatch",
+        ));
     }
     let blocks_x = width / BLOCK;
     let mut pixels = vec![0u8; width * height];
@@ -234,7 +260,11 @@ pub fn decode(data: &[u8]) -> Result<GrayImage> {
             }
         }
     }
-    Ok(GrayImage { width, height, pixels })
+    Ok(GrayImage {
+        width,
+        height,
+        pixels,
+    })
 }
 
 /// Peak signal-to-noise ratio between two same-sized images, in dB.
@@ -244,7 +274,11 @@ pub fn decode(data: &[u8]) -> Result<GrayImage> {
 /// Panics if dimensions differ.
 #[must_use]
 pub fn psnr(a: &GrayImage, b: &GrayImage) -> f64 {
-    assert_eq!((a.width, a.height), (b.width, b.height), "image dimensions must match");
+    assert_eq!(
+        (a.width, a.height),
+        (b.width, b.height),
+        "image dimensions must match"
+    );
     let mse: f64 = a
         .pixels
         .iter()

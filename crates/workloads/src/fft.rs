@@ -33,7 +33,10 @@ impl Complex {
     /// The complex conjugate.
     #[must_use]
     pub fn conj(self) -> Self {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -86,7 +89,10 @@ pub fn ifft(data: &mut [Complex]) {
 
 fn transform(data: &mut [Complex], inverse: bool) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "FFT length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }

@@ -15,9 +15,6 @@
 //!    RLE + LZSS) achieving the paper's 3–14.5 % ratios on WSN-like
 //!    data. Examples and integration tests run these end-to-end.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod app;
 pub mod compress;
 pub mod dct;

@@ -54,10 +54,10 @@ pub fn median_filter(signal: &[f64], window: usize) -> Vec<f64> {
 pub fn exponential_smooth(signal: &[f64], alpha: f64) -> Vec<f64> {
     assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
     let mut out = Vec::with_capacity(signal.len());
-    let mut state = match signal.first() {
-        Some(&x) => x,
-        None => return out,
+    let Some(&first) = signal.first() else {
+        return out;
     };
+    let mut state = first;
     for &x in signal {
         state = alpha * x + (1.0 - alpha) * state;
         out.push(state);
@@ -83,7 +83,11 @@ pub fn detrend(signal: &[f64]) -> Vec<f64> {
         num += dx * (y - mean_y);
         den += dx * dx;
     }
-    let slope = if den.abs() < f64::EPSILON { 0.0 } else { num / den };
+    let slope = if den.abs() < f64::EPSILON {
+        0.0
+    } else {
+        num / den
+    };
     signal
         .iter()
         .enumerate()
@@ -102,8 +106,9 @@ mod tests {
 
     #[test]
     fn moving_average_reduces_noise_variance() {
-        let noisy: Vec<f64> =
-            (0..500).map(|i| ((i * 2654435761u64 as usize) % 97) as f64 / 97.0 - 0.5).collect();
+        let noisy: Vec<f64> = (0..500)
+            .map(|i| ((i * 2654435761u64 as usize) % 97) as f64 / 97.0 - 0.5)
+            .collect();
         let smooth = moving_average(&noisy, 9);
         assert!(variance(&smooth) < variance(&noisy) / 3.0);
         assert_eq!(smooth.len(), noisy.len());
@@ -156,8 +161,9 @@ mod tests {
 
     #[test]
     fn detrend_keeps_oscillation() {
-        let s: Vec<f64> =
-            (0..128).map(|i| 0.1 * i as f64 + (i as f64 * 0.7).sin()).collect();
+        let s: Vec<f64> = (0..128)
+            .map(|i| 0.1 * i as f64 + (i as f64 * 0.7).sin())
+            .collect();
         let out = detrend(&s);
         // Trend gone, sine variance retained.
         assert!(variance(&out) > 0.3);

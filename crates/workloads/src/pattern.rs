@@ -66,7 +66,10 @@ pub fn find_matches(signal: &[f64], template: &[f64], threshold: f64) -> Vec<Mat
     let mut taken: Vec<Match> = Vec::new();
     let m = template.len();
     for c in candidates {
-        if taken.iter().all(|t| c.index + m <= t.index || t.index + m <= c.index) {
+        if taken
+            .iter()
+            .all(|t| c.index + m <= t.index || t.index + m <= c.index)
+        {
             taken.push(c);
         }
     }
@@ -136,8 +139,9 @@ mod tests {
     #[test]
     fn noise_does_not_fake_matches() {
         // Structured pseudo-noise with no QRS shape.
-        let s: Vec<f64> =
-            (0..500).map(|i| ((i * 2654435761usize) % 101) as f64 / 101.0 - 0.5).collect();
+        let s: Vec<f64> = (0..500)
+            .map(|i| ((i * 2654435761usize) % 101) as f64 / 101.0 - 0.5)
+            .collect();
         let found = find_matches(&s, &template(), 0.97);
         assert!(found.is_empty(), "found {found:?}");
     }

@@ -63,18 +63,32 @@ impl TaskPipeline {
             Strategy::Naive => vec![
                 Phase::SensorInit,
                 Phase::Sample { count: 1 },
-                Phase::Compute { instructions: app.naive_instructions() },
+                Phase::Compute {
+                    instructions: app.naive_instructions(),
+                },
                 Phase::RadioInit,
-                Phase::Transmit { bytes: app.payload_bytes() },
+                Phase::Transmit {
+                    bytes: app.payload_bytes(),
+                },
             ],
             Strategy::Buffered => vec![
                 Phase::SensorInit,
-                Phase::Sample { count: app.samples_per_batch() },
-                Phase::Compute { instructions: app.buffered_instructions() },
-                Phase::Transmit { bytes: app.compressed_bytes() },
+                Phase::Sample {
+                    count: app.samples_per_batch(),
+                },
+                Phase::Compute {
+                    instructions: app.buffered_instructions(),
+                },
+                Phase::Transmit {
+                    bytes: app.compressed_bytes(),
+                },
             ],
         };
-        TaskPipeline { app, strategy, phases }
+        TaskPipeline {
+            app,
+            strategy,
+            phases,
+        }
     }
 
     /// The application.
@@ -171,7 +185,10 @@ mod tests {
         let p = TaskPipeline::for_app(App::BridgeHealth, Strategy::Buffered);
         assert!(!p.phases().iter().any(|ph| matches!(ph, Phase::RadioInit)));
         assert_eq!(p.total_samples(), 8192);
-        assert_eq!(p.total_tx_bytes(), u64::from(App::BridgeHealth.compressed_bytes()));
+        assert_eq!(
+            p.total_tx_bytes(),
+            u64::from(App::BridgeHealth.compressed_bytes())
+        );
     }
 
     #[test]
@@ -181,9 +198,11 @@ mod tests {
             let buf = TaskPipeline::for_app(app, Strategy::Buffered);
             // Per sample, buffered transmits far fewer bytes...
             let naive_bytes_per_sample = naive.total_tx_bytes() as f64;
-            let buf_bytes_per_sample =
-                buf.total_tx_bytes() as f64 / buf.total_samples() as f64;
-            assert!(buf_bytes_per_sample < 0.15 * naive_bytes_per_sample, "{app:?}");
+            let buf_bytes_per_sample = buf.total_tx_bytes() as f64 / buf.total_samples() as f64;
+            assert!(
+                buf_bytes_per_sample < 0.15 * naive_bytes_per_sample,
+                "{app:?}"
+            );
             // ...but computes more instructions.
             let naive_inst = naive.total_instructions() as f64;
             let buf_inst = buf.total_instructions() as f64 / buf.total_samples() as f64;
@@ -193,7 +212,9 @@ mod tests {
 
     #[test]
     fn fog_tasks_only_exist_when_buffered() {
-        assert!(TaskPipeline::for_app(App::WsnTemp, Strategy::Naive).fog_tasks().is_empty());
+        assert!(TaskPipeline::for_app(App::WsnTemp, Strategy::Naive)
+            .fog_tasks()
+            .is_empty());
         let tasks = TaskPipeline::for_app(App::WsnTemp, Strategy::Buffered).fog_tasks();
         assert!(!tasks.is_empty());
         assert!(tasks.iter().all(|&t| t > 0));

@@ -33,7 +33,11 @@ impl CableSpec {
     /// A mid-span stay cable typical of the instrumented bridges.
     #[must_use]
     pub fn typical() -> Self {
-        CableSpec { length_m: 100.0, mass_kg_per_m: 60.0, sample_rate_hz: 64.0 }
+        CableSpec {
+            length_m: 100.0,
+            mass_kg_per_m: 60.0,
+            sample_rate_hz: 64.0,
+        }
     }
 
     /// Tension (newtons) implied by a fundamental frequency via the
@@ -57,7 +61,10 @@ impl Environment {
     /// Reference conditions (20 °C, 50 % RH): compensation factor 1.
     #[must_use]
     pub fn reference() -> Self {
-        Environment { temperature_c: 20.0, humidity: 0.5 }
+        Environment {
+            temperature_c: 20.0,
+            humidity: 0.5,
+        }
     }
 
     /// Multiplicative compensation: steel modulus drops ~0.02 %/°C and
@@ -135,11 +142,7 @@ pub struct StrengthReport {
 /// Runs all three models with environmental compensation and averages
 /// — the full §3.1 strength step on one vibration batch.
 #[must_use]
-pub fn assess_strength(
-    vibration: &[f64],
-    cable: &CableSpec,
-    env: &Environment,
-) -> StrengthReport {
+pub fn assess_strength(vibration: &[f64], cable: &CableSpec, env: &Environment) -> StrengthReport {
     let comp = env.compensation();
     let t1 = fundamental_frequency_model(vibration, cable) * comp;
     let t2 = harmonic_ratio_model(vibration, cable) * comp;
@@ -159,11 +162,18 @@ pub fn assess_strength(
 pub fn combine_axes(samples: &[[f64; 3]], direction: [f64; 3]) -> Vec<f64> {
     let norm = (direction[0].powi(2) + direction[1].powi(2) + direction[2].powi(2)).sqrt();
     let d = if norm > 0.0 {
-        [direction[0] / norm, direction[1] / norm, direction[2] / norm]
+        [
+            direction[0] / norm,
+            direction[1] / norm,
+            direction[2] / norm,
+        ]
     } else {
         [0.0, 0.0, 1.0]
     };
-    samples.iter().map(|s| s[0] * d[0] + s[1] * d[1] + s[2] * d[2]).collect()
+    samples
+        .iter()
+        .map(|s| s[0] * d[0] + s[1] * d[1] + s[2] * d[2])
+        .collect()
 }
 
 #[cfg(test)]
@@ -171,7 +181,9 @@ mod tests {
     use super::*;
 
     fn sine(n: usize, k: usize) -> Vec<f64> {
-        (0..n).map(|i| (std::f64::consts::TAU * k as f64 * i as f64 / n as f64).sin()).collect()
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * k as f64 * i as f64 / n as f64).sin())
+            .collect()
     }
 
     #[test]
@@ -223,19 +235,27 @@ mod tests {
         let cold = assess_strength(
             &v,
             &cable,
-            &Environment { temperature_c: -10.0, humidity: 0.5 },
+            &Environment {
+                temperature_c: -10.0,
+                humidity: 0.5,
+            },
         );
         let hot = assess_strength(
             &v,
             &cable,
-            &Environment { temperature_c: 45.0, humidity: 0.5 },
+            &Environment {
+                temperature_c: 45.0,
+                humidity: 0.5,
+            },
         );
         assert!(hot.mean_tension > cold.mean_tension);
         let reference = assess_strength(&v, &cable, &Environment::reference());
-        assert!((reference.mean_tension
-            - 0.5 * (reference.tension_fundamental + reference.tension_harmonic))
-            .abs()
-            < 1e-9);
+        assert!(
+            (reference.mean_tension
+                - 0.5 * (reference.tension_fundamental + reference.tension_harmonic))
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -89,7 +89,12 @@ impl DoseTracker {
     /// Creates a tracker for a skin type with zero accumulated dose.
     #[must_use]
     pub fn new(skin: SkinType) -> Self {
-        DoseTracker { skin, accumulated_j_per_m2: 0.0, peak_uvi: 0.0, samples: 0 }
+        DoseTracker {
+            skin,
+            accumulated_j_per_m2: 0.0,
+            peak_uvi: 0.0,
+            samples: 0,
+        }
     }
 
     /// Ingests a batch of raw samples taken `sample_period_s` apart.

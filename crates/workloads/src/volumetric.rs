@@ -38,7 +38,13 @@ impl VoxelGrid {
         assert!(voxel_size > 0.0, "voxel size must be positive");
         assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
         let n = dims[0] * dims[1] * dims[2];
-        VoxelGrid { origin, voxel_size, dims, values: vec![0.0; n], weights: vec![0.0; n] }
+        VoxelGrid {
+            origin,
+            voxel_size,
+            dims,
+            values: vec![0.0; n],
+            weights: vec![0.0; n],
+        }
     }
 
     /// Grid dimensions (voxels per axis).
@@ -159,18 +165,16 @@ mod tests {
     use super::*;
 
     fn sample(x: f64, y: f64, z: f64, v: f64) -> PointSample {
-        PointSample { position: [x, y, z], value: v }
+        PointSample {
+            position: [x, y, z],
+            value: v,
+        }
     }
 
     #[test]
     fn single_sample_dominates_its_voxel() {
-        let grid = VoxelGrid::reconstruct(
-            [0.0; 3],
-            1.0,
-            [8, 8, 8],
-            &[sample(3.5, 3.5, 3.5, 42.0)],
-            1,
-        );
+        let grid =
+            VoxelGrid::reconstruct([0.0; 3], 1.0, [8, 8, 8], &[sample(3.5, 3.5, 3.5, 42.0)], 1);
         assert!((grid.value_at(3, 3, 3) - 42.0).abs() < 1e-9);
         // Far corner untouched.
         assert_eq!(grid.value_at(7, 7, 7), 0.0);

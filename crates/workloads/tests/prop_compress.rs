@@ -2,8 +2,8 @@
 //! inputs, and the full pipeline round-trips.
 
 use neofog_workloads::compress::{
-    compress, decompress, delta_decode, delta_encode, lzss_decode, lzss_encode,
-    packbits_decode, packbits_encode,
+    compress, decompress, delta_decode, delta_encode, lzss_decode, lzss_encode, packbits_decode,
+    packbits_encode,
 };
 use proptest::prelude::*;
 

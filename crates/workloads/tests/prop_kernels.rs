@@ -42,8 +42,8 @@ proptest! {
     ) {
         for out in [moving_average(&values, w), median_filter(&values, w)] {
             prop_assert_eq!(out.len(), values.len());
-            let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
-            let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             for v in out {
                 prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
             }

@@ -1,0 +1,597 @@
+//! The lint engine: file classification, test-code exemption, inline
+//! allow directives, and one matcher per rule in [`crate::rules`].
+
+use crate::lexer::{tokenize, Tok, TokKind};
+use crate::rules::{
+    self, Scope, BANNED_HASH_IDENTS, BANNED_PANIC_MACROS, BANNED_PANIC_METHODS, BANNED_RNG_IDENTS,
+    BANNED_TIME_IDENTS, DIMENSIONED_MARKERS, DIMENSIONED_SUFFIXES, DIMENSIONLESS_MARKERS,
+    LEDGER_METHODS,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Crates whose library code must be deterministic (rule scope
+/// [`Scope::SimCrates`]).
+const SIM_CRATES: &[&str] = &["core", "energy", "net", "nvp", "rf"];
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule ID, e.g. `NF-DET-002`.
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// What was found at the site.
+    pub message: String,
+}
+
+/// How a file participates in the lint pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate directory name (`core`, `types`, ...; `neofog` for the
+    /// root package).
+    pub crate_name: String,
+    /// Library code: panic-policy and unit rules apply.
+    pub is_library: bool,
+    /// Library code of a deterministic simulation crate.
+    pub is_sim: bool,
+}
+
+/// Classifies a workspace-relative path. Returns `None` for files the
+/// pass skips entirely (tests, benches, examples, fixtures, shims).
+#[must_use]
+pub fn classify(rel: &str) -> Option<FileClass> {
+    let rel = rel.replace('\\', "/");
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let skip_fragments = [
+        "/tests/",
+        "/benches/",
+        "/examples/",
+        "/fixtures/",
+        "/target/",
+    ];
+    if skip_fragments.iter().any(|f| rel.contains(f))
+        || rel.starts_with("shims/")
+        || rel.starts_with("target/")
+    {
+        return None;
+    }
+    let (crate_name, in_src) = if let Some(rest) = rel.strip_prefix("crates/") {
+        let mut parts = rest.splitn(2, '/');
+        let name = parts.next()?.to_string();
+        let tail = parts.next()?;
+        (name, tail.starts_with("src/"))
+    } else if rel.starts_with("src/") {
+        ("neofog".to_string(), true)
+    } else {
+        return None;
+    };
+    if !in_src {
+        return None;
+    }
+    // Binaries (bench figure generators) are exempt from the library
+    // panic policy and the determinism rules: they are allowed to
+    // measure wall-clock time and to abort on setup errors.
+    let is_bin = rel.contains("/src/bin/") || rel.ends_with("/main.rs");
+    let is_library = !is_bin;
+    let is_sim = is_library && SIM_CRATES.contains(&crate_name.as_str());
+    Some(FileClass {
+        crate_name,
+        is_library,
+        is_sim,
+    })
+}
+
+/// Lines on which each rule is waived by an inline directive.
+type AllowMap = BTreeMap<String, BTreeSet<u32>>;
+
+/// Parses `// neofog-lint: allow(ID[, ID]*)` directives. A directive
+/// waives the listed rules on its own line and the line below it.
+fn parse_allow_directives(source: &str) -> AllowMap {
+    let mut map: AllowMap = BTreeMap::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx as u32 + 1;
+        let Some(pos) = raw.find("neofog-lint:") else {
+            continue;
+        };
+        let rest = &raw[pos + "neofog-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let after = &rest[open + "allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        for id in after[..close].split(',') {
+            let id = id.trim();
+            if id.is_empty() {
+                continue;
+            }
+            let lines = map.entry(id.to_string()).or_default();
+            lines.insert(line_no);
+            lines.insert(line_no + 1);
+        }
+    }
+    map
+}
+
+/// Strips tokens belonging to test code: any item annotated with an
+/// attribute containing the identifier `test` (`#[test]`,
+/// `#[cfg(test)] mod ...`, `#[cfg(all(test, ...))]`), including the
+/// whole body of a `#[cfg(test)] mod`.
+fn strip_test_spans(toks: &[Tok]) -> Vec<Tok> {
+    let mut keep = vec![true; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks.get(i).is_some_and(|t| t.is_punct('#')) {
+            i += 1;
+            continue;
+        }
+        // Attribute: `#[...]` or `#![...]`.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+            j += 1;
+        }
+        if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+            i += 1;
+            continue;
+        }
+        let attr_start = i;
+        let mut depth = 0i32;
+        let mut is_test_attr = false;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.is_ident("test") {
+                // `#[cfg(not(test))]` gates *non*-test code.
+                let negated = j >= 2
+                    && toks.get(j - 1).is_some_and(|p| p.is_punct('('))
+                    && toks.get(j - 2).is_some_and(|p| p.is_ident("not"));
+                if !negated {
+                    is_test_attr = true;
+                }
+            }
+            j += 1;
+        }
+        let attr_end = j; // index of the closing ']'
+        if !is_test_attr {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = attr_end + 1;
+        while toks.get(k).is_some_and(|t| t.is_punct('#')) {
+            let mut d = 0i32;
+            let mut m = k + 1;
+            if toks.get(m).is_some_and(|t| t.is_punct('!')) {
+                m += 1;
+            }
+            while let Some(t) = toks.get(m) {
+                if t.is_punct('[') {
+                    d += 1;
+                } else if t.is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        // Skip the annotated item: up to a `;` at depth 0, or the
+        // matching `}` of its first depth-0 `{`.
+        let mut brace = 0i32;
+        let mut paren = 0i32;
+        let mut end = k;
+        while let Some(t) = toks.get(end) {
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    break;
+                }
+            } else if t.is_punct('(') {
+                paren += 1;
+            } else if t.is_punct(')') {
+                paren -= 1;
+            } else if t.is_punct(';') && brace == 0 && paren == 0 {
+                break;
+            }
+            end += 1;
+        }
+        for flag in keep
+            .iter_mut()
+            .take((end + 1).min(toks.len()))
+            .skip(attr_start)
+        {
+            *flag = false;
+        }
+        i = end + 1;
+    }
+    toks.iter()
+        .zip(keep)
+        .filter_map(|(t, k)| if k { Some(t.clone()) } else { None })
+        .collect()
+}
+
+/// Keywords that may legitimately precede a `[` starting an array
+/// expression or type rather than an indexing operation.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
+    "yield",
+];
+
+struct FileCtx<'a> {
+    rel: &'a str,
+    class: FileClass,
+    toks: Vec<Tok>,
+    allows: AllowMap,
+    out: Vec<Violation>,
+}
+
+impl FileCtx<'_> {
+    fn rule_applies(&self, rule_id: &str) -> bool {
+        let Some(rule) = rules::rule_by_id(rule_id) else {
+            return false;
+        };
+        let in_scope = match rule.scope {
+            Scope::Library => self.class.is_library,
+            Scope::SimCrates => self.class.is_sim,
+            Scope::File(path) => self.rel == path,
+        };
+        in_scope
+            && !rules::FILE_ALLOWS
+                .iter()
+                .any(|a| a.rule == rule_id && a.path == self.rel)
+    }
+
+    fn push(&mut self, rule: &'static str, line: u32, message: String) {
+        if self
+            .allows
+            .get(rule)
+            .is_some_and(|lines| lines.contains(&line))
+        {
+            return;
+        }
+        self.out.push(Violation {
+            rule,
+            path: self.rel.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+/// Lints one file's source text. `rel_path` decides which rules apply;
+/// unclassified paths produce no diagnostics.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let Some(class) = classify(rel_path) else {
+        return Vec::new();
+    };
+    let toks = strip_test_spans(&tokenize(source));
+    let mut ctx = FileCtx {
+        rel: rel_path,
+        class,
+        toks,
+        allows: parse_allow_directives(source),
+        out: Vec::new(),
+    };
+    check_banned_idents(&mut ctx);
+    check_panic_methods(&mut ctx);
+    check_panic_macros(&mut ctx);
+    check_indexing(&mut ctx);
+    check_units(&mut ctx);
+    check_ledger(&mut ctx);
+    ctx.out.sort_by_key(|v| (v.line, v.rule));
+    ctx.out
+}
+
+/// NF-DET-001/002/003: banned identifiers in simulation crates.
+fn check_banned_idents(ctx: &mut FileCtx<'_>) {
+    let groups: [(&'static str, &[&str], &str); 3] = [
+        ("NF-DET-001", BANNED_TIME_IDENTS, "wall-clock time source"),
+        ("NF-DET-002", BANNED_HASH_IDENTS, "hash-ordered collection"),
+        ("NF-DET-003", BANNED_RNG_IDENTS, "non-SimRng randomness"),
+    ];
+    for (rule, idents, what) in groups {
+        if !ctx.rule_applies(rule) {
+            continue;
+        }
+        let hits: Vec<(u32, String)> = ctx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && idents.contains(&t.text.as_str()))
+            .map(|t| (t.line, t.text.clone()))
+            .collect();
+        for (line, name) in hits {
+            ctx.push(rule, line, format!("{what} `{name}`"));
+        }
+    }
+}
+
+/// NF-PANIC-001: `.unwrap()` / `.expect(` method calls.
+fn check_panic_methods(ctx: &mut FileCtx<'_>) {
+    if !ctx.rule_applies("NF-PANIC-001") {
+        return;
+    }
+    let mut hits = Vec::new();
+    for i in 0..ctx.toks.len() {
+        let Some(tok) = ctx.toks.get(i) else { break };
+        if tok.kind != TokKind::Ident || !BANNED_PANIC_METHODS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        let dotted = i > 0 && ctx.toks.get(i - 1).is_some_and(|t| t.is_punct('.'));
+        let called = ctx.toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if dotted && called {
+            hits.push((tok.line, tok.text.clone()));
+        }
+    }
+    for (line, name) in hits {
+        ctx.push("NF-PANIC-001", line, format!("`.{name}()` can panic"));
+    }
+}
+
+/// NF-PANIC-002: `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+fn check_panic_macros(ctx: &mut FileCtx<'_>) {
+    if !ctx.rule_applies("NF-PANIC-002") {
+        return;
+    }
+    let mut hits = Vec::new();
+    for i in 0..ctx.toks.len() {
+        let Some(tok) = ctx.toks.get(i) else { break };
+        if tok.kind != TokKind::Ident || !BANNED_PANIC_MACROS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        if ctx.toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            hits.push((tok.line, tok.text.clone()));
+        }
+    }
+    for (line, name) in hits {
+        ctx.push(
+            "NF-PANIC-002",
+            line,
+            format!("`{name}!` aborts the simulation"),
+        );
+    }
+}
+
+/// NF-PANIC-003: `expr[...]` indexing (heuristic: `[` directly after an
+/// identifier, `)` or `]`).
+fn check_indexing(ctx: &mut FileCtx<'_>) {
+    if !ctx.rule_applies("NF-PANIC-003") {
+        return;
+    }
+    let mut hits = Vec::new();
+    for i in 1..ctx.toks.len() {
+        let Some(tok) = ctx.toks.get(i) else { break };
+        if !tok.is_punct('[') {
+            continue;
+        }
+        let Some(prev) = ctx.toks.get(i - 1) else {
+            continue;
+        };
+        let indexes = match prev.kind {
+            TokKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+            TokKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+            _ => false,
+        };
+        if indexes {
+            hits.push(tok.line);
+        }
+    }
+    for line in hits {
+        ctx.push(
+            "NF-PANIC-003",
+            line,
+            "slice indexing can panic; use get() or an iterator".to_string(),
+        );
+    }
+}
+
+fn is_dimensioned_name(name: &str) -> bool {
+    let lower = name.to_lowercase();
+    if DIMENSIONLESS_MARKERS.iter().any(|m| lower.contains(m)) {
+        return false;
+    }
+    DIMENSIONED_MARKERS.iter().any(|m| lower.contains(m))
+        || DIMENSIONED_SUFFIXES.iter().any(|s| lower.ends_with(s))
+}
+
+/// NF-UNIT-001: `name: f64` fields, parameters and consts whose name
+/// carries a physical dimension. Local `let` bindings are exempt — the
+/// typed-unit discipline bites at API boundaries.
+fn check_units(ctx: &mut FileCtx<'_>) {
+    if !ctx.rule_applies("NF-UNIT-001") || ctx.rel == "crates/types/src/units.rs" {
+        return;
+    }
+    let mut hits = Vec::new();
+    for i in 0..ctx.toks.len() {
+        let Some(name_tok) = ctx.toks.get(i) else {
+            break;
+        };
+        if name_tok.kind != TokKind::Ident {
+            continue;
+        }
+        let colon = ctx.toks.get(i + 1).is_some_and(|t| t.is_punct(':'));
+        let f64_type = ctx.toks.get(i + 2).is_some_and(|t| t.is_ident("f64"));
+        let terminated = ctx.toks.get(i + 3).is_none_or(|t| {
+            t.is_punct(',')
+                || t.is_punct(')')
+                || t.is_punct('}')
+                || t.is_punct('=')
+                || t.is_punct(';')
+        });
+        if !(colon && f64_type && terminated) {
+            continue;
+        }
+        // `let [mut] name: f64` is a local binding — exempt.
+        let prev = i.checked_sub(1).and_then(|p| ctx.toks.get(p));
+        let prev2 = i.checked_sub(2).and_then(|p| ctx.toks.get(p));
+        let is_local = prev.is_some_and(|t| t.is_ident("let"))
+            || (prev.is_some_and(|t| t.is_ident("mut"))
+                && prev2.is_some_and(|t| t.is_ident("let")));
+        if is_local {
+            continue;
+        }
+        if rules::IDENT_ALLOWS
+            .iter()
+            .any(|a| a.rule == "NF-UNIT-001" && a.ident == name_tok.text)
+        {
+            continue;
+        }
+        if is_dimensioned_name(&name_tok.text) {
+            hits.push((name_tok.line, name_tok.text.clone()));
+        }
+    }
+    for (line, name) in hits {
+        ctx.push(
+            "NF-UNIT-001",
+            line,
+            format!(
+                "`{name}: f64` looks dimensioned; use the typed units in \
+                 neofog_types (Energy/Power/Duration)"
+            ),
+        );
+    }
+}
+
+/// NF-LEDGER-001: energy-moving calls in the slot loop must book in the
+/// `EnergyLedger` — an identifier `ledger` within two lines.
+fn check_ledger(ctx: &mut FileCtx<'_>) {
+    if !ctx.rule_applies("NF-LEDGER-001") {
+        return;
+    }
+    // Any identifier mentioning the ledger counts as a booking site:
+    // `ledger`, `ledgers[i]`, `EnergyLedger::open`, ...
+    let ledger_lines: BTreeSet<u32> = ctx
+        .toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("ledger"))
+        .map(|t| t.line)
+        .collect();
+    let mut hits = Vec::new();
+    for i in 1..ctx.toks.len() {
+        let Some(tok) = ctx.toks.get(i) else { break };
+        if tok.kind != TokKind::Ident || !LEDGER_METHODS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        let dotted = ctx.toks.get(i - 1).is_some_and(|t| t.is_punct('.'));
+        let called = ctx.toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if !(dotted && called) {
+            continue;
+        }
+        let near_ledger = ledger_lines
+            .range(tok.line.saturating_sub(2)..=tok.line + 2)
+            .next()
+            .is_some();
+        if !near_ledger {
+            hits.push((tok.line, tok.text.clone()));
+        }
+    }
+    for (line, name) in hits {
+        ctx.push(
+            "NF-LEDGER-001",
+            line,
+            format!("`.{name}()` moves energy without booking it in the ledger"),
+        );
+    }
+}
+
+/// Outcome of linting a file tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LintReport {
+    /// Number of files that were classified and scanned.
+    pub files_checked: usize,
+    /// All diagnostics, ordered by path then line.
+    pub violations: Vec<Violation>,
+}
+
+/// Recursively collects `.rs` files under `dir` into `out` as paths
+/// relative to `root`.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(rel.to_string_lossy().replace('\\', "/"));
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root` (`crates/*/src` plus the
+/// root package's `src/`).
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading files.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = LintReport::default();
+    for rel in &files {
+        if classify(rel).is_none() {
+            continue;
+        }
+        let source = std::fs::read_to_string(root.join(rel))?;
+        report.files_checked += 1;
+        report.violations.extend(lint_source(rel, &source));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_layout() {
+        assert!(classify("crates/core/src/sim.rs").is_some_and(|c| c.is_sim));
+        assert!(classify("crates/types/src/units.rs").is_some_and(|c| !c.is_sim));
+        assert!(classify("crates/bench/src/bin/headline.rs").is_some_and(|c| !c.is_library));
+        assert_eq!(classify("crates/core/tests/prop_balance.rs"), None);
+        assert_eq!(classify("shims/proptest/src/lib.rs"), None);
+        assert!(classify("src/lib.rs").is_some_and(|c| c.crate_name == "neofog"));
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "fn lib() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        let v = lint_source("crates/types/src/x.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v.first().map(|v| v.line), Some(1));
+    }
+
+    #[test]
+    fn inline_allow_waives_one_site() {
+        let src = "// neofog-lint: allow(NF-PANIC-001) fixture\nfn f() { x.unwrap(); }\n\
+                   fn g() { y.unwrap(); }\n";
+        let v = lint_source("crates/types/src/x.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.first().map(|v| v.line), Some(3));
+    }
+}

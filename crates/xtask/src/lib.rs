@@ -1,0 +1,19 @@
+//! `neofog-xtask`: the workspace task runner.
+//!
+//! Run as `cargo xtask lint` (the alias lives in `.cargo/config.toml`).
+//! The lint pass enforces the NEOFog-specific invariants that rustc and
+//! clippy cannot see — typed units at API boundaries, determinism of
+//! the simulation crates, the library panic policy, and energy-ledger
+//! routing in the slot loop. The rule table and every exemption are in
+//! [`rules`]; the matchers are in [`engine`].
+//!
+//! The pass deliberately works on a hand-rolled token stream
+//! ([`lexer`]) rather than a full parse: the rules only need to see
+//! identifiers, punctuation and line numbers, and must never be fooled
+//! by comments or string literals.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{classify, lint_source, lint_workspace, LintReport, Violation};

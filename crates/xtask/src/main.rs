@@ -1,0 +1,177 @@
+//! CLI entry point for `cargo xtask`.
+
+use neofog_xtask::rules::{self, Scope};
+use neofog_xtask::{lint_workspace, LintReport, Violation};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: cargo xtask <command>
+
+commands:
+  lint [--json]   run the NEOFog static-analysis pass over the workspace
+  rules           print the rule table with rationales
+
+exit status: 0 clean, 1 violations found, 2 usage or I/O error";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("lint") => {
+            let mut json = false;
+            for flag in it {
+                match flag {
+                    "--json" => json = true,
+                    other => {
+                        eprintln!("unknown flag `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run_lint(json)
+        }
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: the directory cargo ran the alias from, or the
+/// manifest's grandparent when invoked directly.
+fn workspace_root() -> PathBuf {
+    // Under `cargo run` the process cwd is where cargo was invoked; the
+    // alias is defined at the workspace root, so prefer cwd when it
+    // looks like the workspace.
+    if let Ok(cwd) = std::env::current_dir() {
+        if cwd.join("crates").is_dir() && cwd.join("Cargo.toml").is_file() {
+            return cwd;
+        }
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map_or(manifest.clone(), PathBuf::from)
+}
+
+fn run_lint(json: bool) -> ExitCode {
+    let root = workspace_root();
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", render_json(&report));
+    } else {
+        render_text(&report);
+    }
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn render_text(report: &LintReport) {
+    for v in &report.violations {
+        let summary = rules::rule_by_id(v.rule).map_or("", |r| r.summary);
+        println!(
+            "{}:{}: [{}] {} — {}",
+            v.path, v.line, v.rule, v.message, summary
+        );
+    }
+    if report.violations.is_empty() {
+        println!(
+            "xtask lint: OK ({} files, {} rules)",
+            report.files_checked,
+            rules::RULES.len()
+        );
+    } else {
+        let files: std::collections::BTreeSet<&str> =
+            report.violations.iter().map(|v| v.path.as_str()).collect();
+        println!(
+            "xtask lint: {} violation(s) in {} file(s) ({} files checked)",
+            report.violations.len(),
+            files.len(),
+            report.files_checked
+        );
+    }
+}
+
+/// Hand-rolled JSON emitter (the workspace builds offline; no serde
+/// JSON backend is available).
+fn render_json(report: &LintReport) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!(
+        "\"ok\":{},\"files_checked\":{},\"violations\":[",
+        report.violations.is_empty(),
+        report.files_checked
+    ));
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&render_violation(v));
+    }
+    s.push_str("]}");
+    s
+}
+
+fn render_violation(v: &Violation) -> String {
+    format!(
+        "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+        json_str(v.rule),
+        json_str(&v.path),
+        v.line,
+        json_str(&v.message)
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn print_rules() {
+    for r in rules::RULES {
+        let scope = match r.scope {
+            Scope::Library => "library code".to_string(),
+            Scope::SimCrates => "sim crates (core, energy, net, nvp, rf)".to_string(),
+            Scope::File(p) => p.to_string(),
+        };
+        println!(
+            "{}  [{}]\n  {}\n  why: {}\n",
+            r.id, scope, r.summary, r.rationale
+        );
+    }
+    println!("file exemptions:");
+    for a in rules::FILE_ALLOWS {
+        println!("  {}  {}  — {}", a.rule, a.path, a.reason);
+    }
+    println!("identifier exemptions:");
+    for a in rules::IDENT_ALLOWS {
+        println!("  {}  {}  — {}", a.rule, a.ident, a.reason);
+    }
+}

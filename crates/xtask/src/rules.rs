@@ -1,0 +1,360 @@
+//! The declarative rule table and allowlists.
+//!
+//! Every NEOFog-specific invariant the lint pass enforces is listed
+//! here with a stable rule ID, the scope it applies to, and a
+//! rationale. Exemptions live in the two allowlists below — never
+//! inline in the engine — so a reviewer can audit the complete policy
+//! in one file. Individual sites can also be waived in source with
+//!
+//! ```text
+//! // neofog-lint: allow(NF-XXX-NNN) one-line justification
+//! ```
+//!
+//! on the offending line or the line directly above it.
+
+/// Which files a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// All first-party library code (`crates/*/src`, root `src/`),
+    /// excluding tests, benches, examples and `src/bin` binaries.
+    Library,
+    /// Library code of the deterministic simulation crates only:
+    /// `core`, `energy`, `net`, `nvp`, `rf`.
+    SimCrates,
+    /// A single file, named by workspace-relative path.
+    File(&'static str),
+}
+
+/// One lint rule.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// Stable identifier, e.g. `NF-DET-002`.
+    pub id: &'static str,
+    /// One-line summary shown with every diagnostic.
+    pub summary: &'static str,
+    /// Why the invariant matters for the NEOFog reproduction.
+    pub rationale: &'static str,
+    /// Where the rule applies.
+    pub scope: Scope,
+}
+
+/// The complete rule table.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "NF-UNIT-001",
+        summary: "raw f64 used for a dimensioned quantity",
+        rationale: "energy/power/time/charge values must use the typed units in \
+                    crates/types/src/units.rs; a bare f64 silently mixes joules \
+                    with nanojoules and watts with milliwatts",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-DET-001",
+        summary: "wall-clock time source in simulation code",
+        rationale: "Instant/SystemTime make runs irreproducible; simulated time \
+                    advances only through slot arithmetic",
+        scope: Scope::SimCrates,
+    },
+    Rule {
+        id: "NF-DET-002",
+        summary: "hash-ordered collection in simulation code",
+        rationale: "HashMap/HashSet iteration order varies across runs and \
+                    platforms; use BTreeMap/BTreeSet so identical seeds give \
+                    identical results",
+        scope: Scope::SimCrates,
+    },
+    Rule {
+        id: "NF-DET-003",
+        summary: "non-SimRng randomness in simulation code",
+        rationale: "all stochastic behaviour must flow from the seeded, \
+                    forkable neofog_types::SimRng so a (seed, config) pair \
+                    fully determines a run",
+        scope: Scope::SimCrates,
+    },
+    Rule {
+        id: "NF-PANIC-001",
+        summary: "unwrap()/expect() in library code",
+        rationale: "library code returns neofog_types::Result; panics in a \
+                    long fleet sweep abort thousands of sibling simulations",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-PANIC-002",
+        summary: "panic!/unreachable!/todo!/unimplemented! in library code",
+        rationale: "same as NF-PANIC-001; assert!/debug_assert! remain allowed \
+                    for internal invariants",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-PANIC-003",
+        summary: "slice indexing in library code",
+        rationale: "out-of-bounds indexing panics; prefer get()/iterators \
+                    except in allowlisted numeric kernels whose indices are \
+                    loop-bound-derived",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-LEDGER-001",
+        summary: "energy debit/credit bypasses the conservation ledger",
+        rationale: "every charge/discharge/leak/spend in the slot loop must be \
+                    booked in the EnergyLedger so debug builds can assert \
+                    per-slot conservation (harvested = consumed + stored + \
+                    leaked + lost)",
+        scope: Scope::File("crates/core/src/sim.rs"),
+    },
+];
+
+/// A per-file exemption from one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct FileAllow {
+    /// Rule being waived.
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: &'static str,
+    /// Why the exemption is sound.
+    pub reason: &'static str,
+}
+
+/// Files exempted from specific rules.
+///
+/// The bulk of the entries waive NF-PANIC-003 for numeric kernels: DSP
+/// and dynamic-programming code whose indices are derived from loop
+/// bounds over lengths it allocated itself, where `get()` chains would
+/// obscure the mathematics without removing any real panic.
+pub const FILE_ALLOWS: &[FileAllow] = &[
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/volumetric.rs",
+        reason: "voxel-grid kernel; indices bounded by the grid dimensions it allocates",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/compress.rs",
+        reason: "RLE/delta codec; window indices bounded by input length",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/dct.rs",
+        reason: "8x8 DCT kernel; fixed-size block indices",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/fft.rs",
+        reason: "radix-2 FFT butterflies; indices bounded by the power-of-two length",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/strength.rs",
+        reason: "structural-model kernel; stencil indices bounded by the mesh size",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/uvdose.rs",
+        reason: "dose-integration kernel over self-allocated series",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/noise.rs",
+        reason: "spectral-band kernel over self-allocated series",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/pattern.rs",
+        reason: "sliding-window matcher; window bounded by input length",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/workloads/src/pipeline.rs",
+        reason: "stage table indexed by stage count it defines",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/balance/dp.rs",
+        reason: "DP table kernel; indices bounded by the table dimensions it allocates",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/balance/distributed.rs",
+        reason: "Algorithm-1 region scan; indices bounded by chain length",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/balance/tree.rs",
+        reason: "up-down tree passes; indices bounded by chain length",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/balance/mod.rs",
+        reason: "chain neighbour access bounded by chain length",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/sim.rs",
+        reason: "slot loop over per-node vectors all sized to the node count",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/metrics.rs",
+        reason: "per-node counter vectors sized to the node count",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/timeline.rs",
+        reason: "slot-series access bounded by the recorded length",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/experiment.rs",
+        reason: "figure tables indexed by the system/profile grid it builds",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/fleet.rs",
+        reason: "percentile access into a vector it sorted and sized",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/nvd4q.rs",
+        reason: "clone-group tables sized to the multiplex factor",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/core/src/report.rs",
+        reason: "column-width table sized to the header row",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/types/src/rng.rs",
+        reason: "xoshiro state array of fixed size 4; Fisher-Yates swap bounded by len",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/energy/src/trace.rs",
+        reason: "trace resampling bounded by the sample count it allocates",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/net/src/topology.rs",
+        reason: "chain-position access bounded by the chain length",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/net/src/routing.rs",
+        reason: "hop-path access bounded by the route it built",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/nvp/src/spendthrift.rs",
+        reason: "frequency-level table of fixed paper-given size",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/sensors/src/signal.rs",
+        reason: "sample-window kernel bounded by the window it allocates",
+    },
+    FileAllow {
+        rule: "NF-PANIC-003",
+        path: "crates/xtask/src/engine.rs",
+        reason: "token-window scans bounded by the token vector length",
+    },
+];
+
+/// A per-identifier exemption from one rule.
+#[derive(Debug, Clone, Copy)]
+pub struct IdentAllow {
+    /// Rule being waived.
+    pub rule: &'static str,
+    /// The exact field/parameter name.
+    pub ident: &'static str,
+    /// Why the name is not actually dimensioned.
+    pub reason: &'static str,
+}
+
+/// Identifiers that look dimensioned but are genuinely dimensionless.
+pub const IDENT_ALLOWS: &[IdentAllow] = &[
+    IdentAllow {
+        rule: "NF-UNIT-001",
+        ident: "initial_charge",
+        reason: "fraction of capacitor capacity in [0, 1], not coulombs",
+    },
+    IdentAllow {
+        rule: "NF-UNIT-001",
+        ident: "energy_index",
+        reason: "dimensionless structural-strength index from the workload model",
+    },
+];
+
+/// Name fragments that mark an `f64` as carrying a physical dimension.
+pub const DIMENSIONED_MARKERS: &[&str] = &[
+    "energy", "power", "joule", "watt", "volt", "ampere", "coulomb", "charge", "latency",
+    "duration", "elapsed", "timeout", "deadline", "airtime",
+];
+
+/// Suffixes that mark an `f64` as carrying an explicit unit.
+pub const DIMENSIONED_SUFFIXES: &[&str] = &[
+    "_nj", "_uj", "_mj", "_j", "_nw", "_uw", "_mw", "_w", "_us", "_ms", "_ns", "_secs", "_seconds",
+    "_micros", "_millis", "_nanos",
+];
+
+/// Name fragments that mark a value as a dimensionless ratio, so a
+/// dimensioned marker inside the same name does not fire the rule
+/// (`charge_efficiency`, `energy_saved_ratio`, ...).
+pub const DIMENSIONLESS_MARKERS: &[&str] = &[
+    "efficiency",
+    "_eff",
+    "eff_",
+    "ratio",
+    "fraction",
+    "factor",
+    "scale",
+    "share",
+    "prob",
+    "chance",
+    "weight",
+    "score",
+    "norm",
+    "gain",
+    "loss",
+];
+
+/// Identifiers banned by NF-DET-001 (wall-clock time).
+pub const BANNED_TIME_IDENTS: &[&str] = &["Instant", "SystemTime"];
+
+/// Identifiers banned by NF-DET-002 (hash-ordered collections).
+pub const BANNED_HASH_IDENTS: &[&str] = &["HashMap", "HashSet"];
+
+/// Identifiers banned by NF-DET-003 (foreign randomness).
+pub const BANNED_RNG_IDENTS: &[&str] = &[
+    "rand",
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+    "getrandom",
+];
+
+/// Macro names banned by NF-PANIC-002.
+pub const BANNED_PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Method names banned by NF-PANIC-001.
+pub const BANNED_PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Methods in `crates/core/src/sim.rs` that move energy and must be
+/// booked in the `EnergyLedger` (an `ledger` identifier within two
+/// lines of the call).
+pub const LEDGER_METHODS: &[&str] = &[
+    "charge",
+    "charge_with_priority",
+    "discharge_up_to",
+    "try_discharge",
+    "leak",
+    "spend",
+];
+
+/// Looks up a rule by ID.
+#[must_use]
+pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
+    RULES.iter().find(|r| r.id == id)
+}

@@ -1,0 +1,7 @@
+//! Waiver fixture: an inline `neofog-lint: allow(...)` directive
+//! silences exactly the named rule on the next line.
+
+pub fn first(xs: &[u32]) -> u32 {
+    // neofog-lint: allow(NF-PANIC-001) fixture demonstrates waivers
+    *xs.first().unwrap()
+}

@@ -1,0 +1,11 @@
+//! NF-DET-002 fixture: hash-ordered collections in simulation code.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut map = HashMap::new();
+    for &k in keys {
+        *map.entry(k).or_insert(0) += 1;
+    }
+    map
+}

@@ -1,0 +1,6 @@
+//! NF-DET-003 fixture: randomness that does not flow from SimRng.
+
+pub fn roll() -> u32 {
+    let mut rng = StdRng::from_entropy();
+    rng.next_u32()
+}

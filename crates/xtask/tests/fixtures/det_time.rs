@@ -1,0 +1,7 @@
+//! NF-DET-001 fixture: wall-clock time sources in simulation code.
+
+pub fn stamp() -> u128 {
+    let started = std::time::Instant::now();
+    let _ = started;
+    std::time::SystemTime::UNIX_EPOCH.elapsed().map_or(0, |d| d.as_nanos())
+}

@@ -1,0 +1,5 @@
+//! NF-PANIC-003 fixture: direct slice indexing in library code.
+
+pub fn middle(xs: &[u32]) -> u32 {
+    xs[xs.len() / 2]
+}

@@ -1,0 +1,11 @@
+//! NF-PANIC-002 fixture: aborting macros in library code. Plain
+//! assert!() stays allowed for internal invariants.
+
+pub fn pick(kind: u8) -> u32 {
+    assert!(kind < 3, "caller contract");
+    match kind {
+        0 => 10,
+        1 => panic!("fixture panic"),
+        _ => unreachable!(),
+    }
+}

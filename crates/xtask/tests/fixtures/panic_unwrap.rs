@@ -1,0 +1,6 @@
+//! NF-PANIC-001 fixture: unwrap/expect in library code.
+
+pub fn first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap();
+    *xs.get(1).expect("needs two elements") + head
+}

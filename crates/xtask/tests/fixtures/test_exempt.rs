@@ -1,0 +1,17 @@
+//! Exemption fixture: panics inside #[test]/#[cfg(test)] items are
+//! fine; the same code outside them would violate NF-PANIC-001.
+
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::double;
+
+    #[test]
+    fn doubles() {
+        let xs = vec![double(2)];
+        assert_eq!(*xs.first().unwrap(), 4);
+    }
+}

@@ -1,0 +1,10 @@
+//! NF-UNIT-001 fixture: dimensioned quantities carried as bare f64.
+
+pub struct Harvest {
+    pub energy_mj: f64,
+    pub peak_power: f64,
+}
+
+pub fn airtime_for(latency_ms: f64) -> f64 {
+    latency_ms * 2.0
+}

@@ -1,0 +1,161 @@
+//! One violating fixture per rule: the engine must flag each under the
+//! right rule id (and only that id), and must stay quiet when one of
+//! the sanctioned waiver mechanisms applies.
+//!
+//! Fixtures live under `tests/fixtures/` — a directory the workspace
+//! walk skips — and are linted here under synthetic workspace paths
+//! chosen to land in each rule's scope.
+
+use neofog_xtask::lint_source;
+
+/// Lints `src` as if it lived at `path` and returns the rule ids hit.
+fn ids(path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(path, src).into_iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn unit_rule_flags_dimensioned_f64() {
+    let hits = ids(
+        "crates/energy/src/fixture.rs",
+        include_str!("fixtures/unit.rs"),
+    );
+    assert_eq!(hits, vec!["NF-UNIT-001"; 3], "field, field, parameter");
+}
+
+#[test]
+fn unit_rule_ignores_the_units_module_itself() {
+    let hits = ids(
+        "crates/types/src/units.rs",
+        include_str!("fixtures/unit.rs"),
+    );
+    assert!(
+        hits.is_empty(),
+        "units.rs defines the raw representations: {hits:?}"
+    );
+}
+
+#[test]
+fn det_rule_flags_wall_clocks() {
+    let hits = ids(
+        "crates/net/src/fixture.rs",
+        include_str!("fixtures/det_time.rs"),
+    );
+    assert_eq!(hits, vec!["NF-DET-001"; 2], "Instant and SystemTime");
+}
+
+#[test]
+fn det_rule_flags_hash_collections() {
+    let hits = ids(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/det_hash.rs"),
+    );
+    assert_eq!(hits, vec!["NF-DET-002"; 3], "use, return type, constructor");
+}
+
+#[test]
+fn det_rule_flags_unseeded_rngs() {
+    let hits = ids(
+        "crates/rf/src/fixture.rs",
+        include_str!("fixtures/det_rng.rs"),
+    );
+    assert_eq!(hits, vec!["NF-DET-003"; 2], "StdRng and from_entropy");
+}
+
+#[test]
+fn det_rules_only_apply_to_sim_crates() {
+    // The same sources are fine in a non-simulation crate ...
+    let hits = ids(
+        "crates/workloads/src/fixture.rs",
+        include_str!("fixtures/det_hash.rs"),
+    );
+    assert!(hits.is_empty(), "workloads is not a sim crate: {hits:?}");
+    // ... and in a sim crate's benchmark binary.
+    let hits = ids(
+        "crates/bench/src/bin/fixture.rs",
+        include_str!("fixtures/det_time.rs"),
+    );
+    assert!(hits.is_empty(), "binaries may read wall clocks: {hits:?}");
+}
+
+#[test]
+fn panic_rule_flags_unwrap_and_expect() {
+    let hits = ids(
+        "crates/workloads/src/fixture.rs",
+        include_str!("fixtures/panic_unwrap.rs"),
+    );
+    assert_eq!(hits, vec!["NF-PANIC-001"; 2]);
+}
+
+#[test]
+fn panic_rule_flags_aborting_macros_but_not_assert() {
+    let hits = ids(
+        "crates/nvp/src/fixture.rs",
+        include_str!("fixtures/panic_macro.rs"),
+    );
+    assert_eq!(
+        hits,
+        vec!["NF-PANIC-002"; 2],
+        "panic! and unreachable!, not assert!"
+    );
+}
+
+#[test]
+fn panic_rule_flags_slice_indexing() {
+    let violations = lint_source(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/indexing.rs"),
+    );
+    assert_eq!(violations.len(), 1);
+    assert_eq!(violations.first().map(|v| v.rule), Some("NF-PANIC-003"));
+    assert_eq!(
+        violations.first().map(|v| v.line),
+        Some(4),
+        "diagnostics carry lines"
+    );
+}
+
+#[test]
+fn ledger_rule_flags_unbooked_energy_motion() {
+    let hits = ids("crates/core/src/sim.rs", include_str!("fixtures/ledger.rs"));
+    assert_eq!(hits, vec!["NF-LEDGER-001"; 2], "discharge_up_to and leak");
+}
+
+#[test]
+fn ledger_rule_is_scoped_to_the_simulator() {
+    let hits = ids(
+        "crates/core/src/metrics.rs",
+        include_str!("fixtures/ledger.rs"),
+    );
+    assert!(hits.is_empty(), "only sim.rs owns the slot loop: {hits:?}");
+}
+
+#[test]
+fn inline_allow_directive_waives_the_named_rule() {
+    let hits = ids(
+        "crates/workloads/src/fixture.rs",
+        include_str!("fixtures/allow_directive.rs"),
+    );
+    assert!(
+        hits.is_empty(),
+        "directive should waive NF-PANIC-001: {hits:?}"
+    );
+}
+
+#[test]
+fn test_items_are_exempt() {
+    let hits = ids(
+        "crates/workloads/src/fixture.rs",
+        include_str!("fixtures/test_exempt.rs"),
+    );
+    assert!(hits.is_empty(), "#[cfg(test)] items are exempt: {hits:?}");
+}
+
+#[test]
+fn library_rules_skip_test_trees_entirely() {
+    // A panic-laden file is fine when it *is* a test.
+    let hits = ids(
+        "crates/core/tests/fixture.rs",
+        include_str!("fixtures/panic_unwrap.rs"),
+    );
+    assert!(hits.is_empty(), "integration tests may panic: {hits:?}");
+}

@@ -1,0 +1,27 @@
+//! Self-test: the workspace must satisfy every invariant the lint
+//! enforces, so `cargo test` fails the moment a violation lands.
+
+use neofog_xtask::lint_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_passes_its_own_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root).expect("workspace sources are readable");
+    assert!(
+        report.violations.is_empty(),
+        "xtask lint found violations:\n{}",
+        report
+            .violations
+            .iter()
+            .map(|v| format!("  {}:{}: [{}] {}", v.path, v.line, v.rule, v.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity: the walk actually visited the source tree.
+    assert!(
+        report.files_checked > 50,
+        "only {} files checked",
+        report.files_checked
+    );
+}

@@ -13,7 +13,7 @@
 
 use neofog::prelude::*;
 use neofog::sensors::{SensorKind, SignalGenerator};
-use neofog::workloads::app::{ENERGY_PER_INSTRUCTION_NJ, ENERGY_PER_TX_BYTE_NJ};
+use neofog::workloads::app::{energy_per_instruction, energy_per_tx_byte};
 use neofog::workloads::compress::{compress, decompress};
 use neofog::workloads::noise::{detrend, moving_average};
 use neofog::workloads::strength::{assess_strength, combine_axes, CableSpec, Environment};
@@ -26,7 +26,13 @@ fn main() {
     let raw = gen.generate(3 * 512);
     let samples: Vec<[f64; 3]> = raw
         .chunks_exact(3)
-        .map(|c| [f64::from(c[0]) - 128.0, f64::from(c[1]) - 128.0, f64::from(c[2]) - 128.0])
+        .map(|c| {
+            [
+                f64::from(c[0]) - 128.0,
+                f64::from(c[1]) - 128.0,
+                f64::from(c[2]) - 128.0,
+            ]
+        })
         .collect();
     println!("sampled {} 3-axis acceleration records", samples.len());
 
@@ -38,13 +44,28 @@ fn main() {
 
     // 4-6. FFT + three strength models + environmental compensation.
     let cable = CableSpec::typical();
-    let env = Environment { temperature_c: 28.0, humidity: 0.62 };
+    let env = Environment {
+        temperature_c: 28.0,
+        humidity: 0.62,
+    };
     let report = assess_strength(&cleaned, &cable, &env);
     println!("strength models:");
-    println!("  fundamental-frequency tension : {:>12.0} N", report.tension_fundamental);
-    println!("  harmonic-spacing tension      : {:>12.0} N", report.tension_harmonic);
-    println!("  spectral energy index         : {:>12.3}", report.energy_index);
-    println!("  mean tension (transmitted)    : {:>12.0} N\n", report.mean_tension);
+    println!(
+        "  fundamental-frequency tension : {:>12.0} N",
+        report.tension_fundamental
+    );
+    println!(
+        "  harmonic-spacing tension      : {:>12.0} N",
+        report.tension_harmonic
+    );
+    println!(
+        "  spectral energy index         : {:>12.3}",
+        report.energy_index
+    );
+    println!(
+        "  mean tension (transmitted)    : {:>12.0} N\n",
+        report.mean_tension
+    );
 
     // 7. Compression of the full sensing batch before transmission.
     let mut batch_gen = SignalGenerator::new(SensorKind::Lis331dlh, 7);
@@ -64,19 +85,22 @@ fn main() {
     println!(
         "  naive    : {} inst ({:.2} nJ) + {} B TX ({:.1} nJ) per sample, compute share {:.1}%",
         row.naive_instructions,
-        row.naive_compute_nj,
+        row.naive_compute.as_nanojoules(),
         app.payload_bytes(),
-        row.naive_tx_nj,
+        row.naive_tx.as_nanojoules(),
         row.naive_compute_ratio * 100.0
     );
     println!(
         "  buffered : {:.1} mJ compute + {:.2} mJ TX per 64 KiB batch, compute share {:.1}%",
-        row.buffered_compute_mj,
-        row.buffered_tx_mj,
+        row.buffered_compute.as_millijoules(),
+        row.buffered_tx.as_millijoules(),
         row.buffered_compute_ratio * 100.0
     );
-    println!("  energy saved by buffering: {:.1}%", row.energy_saved_ratio * 100.0);
-    let _ = (ENERGY_PER_INSTRUCTION_NJ, ENERGY_PER_TX_BYTE_NJ);
+    println!(
+        "  energy saved by buffering: {:.1}%",
+        row.energy_saved_ratio * 100.0
+    );
+    let _ = (energy_per_instruction(), energy_per_tx_byte());
 
     // 9. System level: a bridge chain under dependent power (Figure 11).
     println!("\nSystem level (dependent bridge traces, 1 h):");

@@ -55,10 +55,8 @@ fn main() {
     // completes on an NVP because the DCT state survives outages.
     let inst = App::PatternMatching.naive_instructions() * 4; // encode-sized task
     use neofog::nvp::{IntermittentEngine, PowerInterval, ProcessorKind};
-    let windows = vec![
-        PowerInterval::new(Duration::from_millis(20), Duration::from_millis(80));
-        20
-    ];
+    let windows =
+        vec![PowerInterval::new(Duration::from_millis(20), Duration::from_millis(80)); 20];
     let nvp = IntermittentEngine::new(ProcessorKind::Nonvolatile).run(inst, &windows);
     println!(
         "encode task across 20 power windows on the NVP: completed={} over {} power cycles",

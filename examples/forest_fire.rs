@@ -15,7 +15,11 @@ fn main() {
 
     // Ablation: same FIOS/NVP/NVRF hardware, three balancers.
     let mut rows = Vec::new();
-    for balancer in [BalancerKind::None, BalancerKind::Tree, BalancerKind::Distributed] {
+    for balancer in [
+        BalancerKind::None,
+        BalancerKind::Tree,
+        BalancerKind::Distributed,
+    ] {
         let mut cfg =
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 5);
         cfg.balancer = balancer;
@@ -34,7 +38,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Balancer", "Fog", "Total", "Tasks moved", "Transfer hops", "Interrupted"],
+            &[
+                "Balancer",
+                "Fog",
+                "Total",
+                "Tasks moved",
+                "Transfer hops",
+                "Interrupted"
+            ],
             &rows,
         )
     );

@@ -22,7 +22,11 @@ fn main() {
         buffer.push(1).expect("1-byte ECG samples fit");
     }
     assert!(buffer.is_full());
-    println!("NV buffer filled: {} samples / {} B", buffer.len(), buffer.used());
+    println!(
+        "NV buffer filled: {} samples / {} B",
+        buffer.len(),
+        buffer.used()
+    );
 
     // 2. Match the stored beat template against the batch.
     let signal = bytes_to_signal(&stream);

@@ -45,9 +45,10 @@ fn main() {
     }
 
     // --- Weather sweep (Figures 12 and 13). --------------------------
-    for (weather, scenario) in
-        [("SUNNY", Scenario::MountainSunny), ("RAINY", Scenario::MountainRainy)]
-    {
+    for (weather, scenario) in [
+        ("SUNNY", Scenario::MountainSunny),
+        ("RAINY", Scenario::MountainRainy),
+    ] {
         println!("\n=== {weather} day, multiplexing sweep (2.5 h) ===");
         let mut rows = Vec::new();
         for factor in [1u32, 2, 3, 4] {
@@ -65,7 +66,10 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["Multiplexing", "Physical nodes", "Captured", "In-fog"], &rows)
+            render_table(
+                &["Multiplexing", "Physical nodes", "Captured", "In-fog"],
+                &rows
+            )
         );
     }
     println!("Sunny: the fog rate is already near its ceiling, so extra clones add little.");

@@ -31,7 +31,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["System", "Wakeups", "Captured", "Cloud", "Fog", "Fog share", "Radio", "Compute"],
+            &[
+                "System",
+                "Wakeups",
+                "Captured",
+                "Cloud",
+                "Fog",
+                "Fog share",
+                "Radio",
+                "Compute"
+            ],
             &rows,
         )
     );

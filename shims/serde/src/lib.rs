@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides `Serialize` / `Deserialize` as marker traits with blanket
+//! impls, plus the no-op derive macros from the `serde_derive` shim.
+//! This keeps every `#[derive(Serialize, Deserialize)]` and
+//! `T: Serialize` bound in the workspace compiling without network
+//! access. No runtime serialization is performed anywhere in the
+//! workspace, so no serializer machinery is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for `serde::de`.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for `serde::ser`.
+pub mod ser {
+    pub use super::Serialize;
+}

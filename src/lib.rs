@@ -36,9 +36,6 @@
 //! assert!(result.metrics.fog_processed() > 0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub use neofog_core as core;
 pub use neofog_energy as energy;
 pub use neofog_net as net;

@@ -16,14 +16,18 @@ fn chain_survives_relay_death_and_recovery() {
     for id in [2u32, 5, 6] {
         router.mark_dead(NodeId::new(id));
     }
-    let route = router.route_to_sink(ChainId::new(0), NodeId::new(9)).unwrap();
+    let route = router
+        .route_to_sink(ChainId::new(0), NodeId::new(9))
+        .unwrap();
     assert_eq!(route.skipped, 3);
     assert_eq!(route.path.len(), 6);
     // Everyone recovers; the original chain re-forms.
     for id in [2u32, 5, 6] {
         router.mark_alive(NodeId::new(id));
     }
-    let route = router.route_to_sink(ChainId::new(0), NodeId::new(9)).unwrap();
+    let route = router
+        .route_to_sink(ChainId::new(0), NodeId::new(9))
+        .unwrap();
     assert_eq!(route.skipped, 0);
     assert_eq!(route.path.len(), 9);
     assert_eq!(router.orphan_scans(), 3);

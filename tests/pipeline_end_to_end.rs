@@ -39,7 +39,10 @@ fn ecg_batch_round_trips_through_the_whole_stack() {
 
     // Process at the edge: count beats before shipping.
     let beats_at_edge = find_matches(&bytes_to_signal(&batch), &beat_template(), 0.8).len();
-    assert!(beats_at_edge > 30, "expected beats in 8192 samples, got {beats_at_edge}");
+    assert!(
+        beats_at_edge > 30,
+        "expected beats in 8192 samples, got {beats_at_edge}"
+    );
 
     // Compress and packetize.
     let packed = compress(&batch);
@@ -71,7 +74,9 @@ fn bridge_pipeline_detects_loosened_cable() {
     // Two synthetic cables: taut (high-frequency vibration) vs slack.
     let n = 512;
     let make = |k: usize| -> Vec<f64> {
-        (0..n).map(|i| (std::f64::consts::TAU * k as f64 * i as f64 / n as f64).sin()).collect()
+        (0..n)
+            .map(|i| (std::f64::consts::TAU * k as f64 * i as f64 / n as f64).sin())
+            .collect()
     };
     let cable = CableSpec::typical();
     let env = Environment::reference();
@@ -88,10 +93,13 @@ fn buffered_strategy_beats_naive_for_every_app() {
         let naive = TaskPipeline::for_app(app, Strategy::Naive);
         let buffered = TaskPipeline::for_app(app, Strategy::Buffered);
         let naive_tx_per_sample = naive.total_tx_bytes() as f64 / naive.total_samples() as f64;
-        let buf_tx_per_sample =
-            buffered.total_tx_bytes() as f64 / buffered.total_samples() as f64;
+        let buf_tx_per_sample = buffered.total_tx_bytes() as f64 / buffered.total_samples() as f64;
         assert!(buf_tx_per_sample < 0.15 * naive_tx_per_sample, "{app:?}");
-        assert_eq!(app.energy_row().energy_saved_ratio.signum(), -1.0, "{app:?}");
+        assert_eq!(
+            app.energy_row().energy_saved_ratio.signum(),
+            -1.0,
+            "{app:?}"
+        );
     }
 }
 

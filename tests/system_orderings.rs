@@ -42,7 +42,9 @@ fn figure11_dependent_gains_are_smaller_but_present() {
     let mut dep = [0u64; 3];
     for seed in 1..=3 {
         for (k, system) in SystemKind::ALL.iter().enumerate() {
-            dep[k] += run(*system, Scenario::BridgeDependent, seed, 500).metrics.total_processed();
+            dep[k] += run(*system, Scenario::BridgeDependent, seed, 500)
+                .metrics
+                .total_processed();
         }
     }
     assert!(dep[2] > dep[1] && dep[1] > dep[0], "{dep:?}");
@@ -89,8 +91,14 @@ fn figure13_rainy_multiplexing_doubles_then_saturates() {
     }
     let g3 = fogs[1] as f64 / fogs[0].max(1) as f64;
     let g5 = fogs[2] as f64 / fogs[1].max(1) as f64;
-    assert!(g3 > 1.6, "3x should roughly double in-fog processing, got {g3:.2}");
-    assert!(g5 < g3, "growth should slow beyond 3x: g3={g3:.2} g5={g5:.2}");
+    assert!(
+        g3 > 1.6,
+        "3x should roughly double in-fog processing, got {g3:.2}"
+    );
+    assert!(
+        g5 < g3,
+        "growth should slow beyond 3x: g3={g3:.2} g5={g5:.2}"
+    );
 }
 
 #[test]
@@ -121,10 +129,14 @@ fn figure9_vp_hoards_stored_energy() {
     // Figure 9: the VP without load balancing keeps its capacitor far
     // fuller than balanced NVP nodes, which convert the same income
     // into fog work instead.
-    let results = neofog::core::experiment::figure9(1);
+    let results = neofog::core::experiment::figure9(1).expect("figure9 runs");
     let mean = |m: &neofog::core::NetworkMetrics| -> f64 {
-        let values: Vec<f32> =
-            m.nodes.iter().take(3).flat_map(|n| n.stored_series.iter().copied()).collect();
+        let values: Vec<f32> = m
+            .nodes
+            .iter()
+            .take(3)
+            .flat_map(|n| n.stored_series.iter().copied())
+            .collect();
         values.iter().map(|&v| f64::from(v)).sum::<f64>() / values.len() as f64
     };
     let vp = mean(&results[0].1);
@@ -139,7 +151,11 @@ fn headline_gains_exceed_paper_baseline() {
     // The abstract: 4.2X in-fog at baseline, 8X at 3X multiplexing.
     // Our NOS-VP baseline is weaker in rain, so the measured gains sit
     // above the paper's; assert they at least clear the paper's bar.
-    let h = neofog::core::experiment::headline(3);
-    assert!(h.baseline_gain > 4.0, "baseline gain {:.1}", h.baseline_gain);
+    let h = neofog::core::experiment::headline(3).expect("headline runs");
+    assert!(
+        h.baseline_gain > 4.0,
+        "baseline gain {:.1}",
+        h.baseline_gain
+    );
     assert!(h.multiplexed_gain > h.baseline_gain);
 }

@@ -15,8 +15,10 @@ fn join_protocol_builds_a_working_clone_set() {
     // Two newcomers join in sequence (Algorithm 2 lines 1-4).
     let mut rf1 = NvRf::paper_default();
     let mut rf2 = NvRf::paper_default();
-    mgr.join(LogicalId::new(0), NodeId::new(1), &mut rf1, &veteran).unwrap();
-    mgr.join(LogicalId::new(0), NodeId::new(2), &mut rf2, &veteran).unwrap();
+    mgr.join(LogicalId::new(0), NodeId::new(1), &mut rf1, &veteran)
+        .unwrap();
+    mgr.join(LogicalId::new(0), NodeId::new(2), &mut rf2, &veteran)
+        .unwrap();
 
     let set = mgr.set_of(NodeId::new(2)).unwrap();
     assert_eq!(set.factor(), 3);
@@ -54,7 +56,11 @@ fn multiplexed_simulation_halves_per_node_duty() {
         );
     }
     // The logical network still captures at (almost) the full rate.
-    assert!(m.total_captured() > 3_600, "captured {}", m.total_captured());
+    assert!(
+        m.total_captured() > 3_600,
+        "captured {}",
+        m.total_captured()
+    );
 }
 
 #[test]
@@ -62,8 +68,7 @@ fn virtualization_does_not_change_logical_hops() {
     // NVD4Q's contrast with naive densification (Figure 7): the
     // simulated chain keeps `positions` logical hops regardless of M.
     for factor in [1u32, 4] {
-        let mut cfg =
-            SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainSunny, 2);
+        let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainSunny, 2);
         cfg.multiplex = factor;
         cfg.slots = 200;
         let result = Simulator::new(cfg).run();
