@@ -21,7 +21,11 @@ fn bench_sim(c: &mut Criterion) {
             BenchmarkId::new("150_slots", system.label()),
             &system,
             |b, &s| {
-                b.iter(|| Simulator::new(black_box(quick(s, 150))).run());
+                b.iter(|| {
+                    Simulator::new(black_box(quick(s, 150)))
+                        .expect("valid config")
+                        .run()
+                });
             },
         );
     }
@@ -37,7 +41,7 @@ fn bench_sim(c: &mut Criterion) {
                 b.iter(|| {
                     let mut cfg = quick(SystemKind::FiosNeoFog, 150);
                     cfg.balancer = bal;
-                    Simulator::new(black_box(cfg)).run()
+                    Simulator::new(black_box(cfg)).expect("valid config").run()
                 });
             },
         );
@@ -48,7 +52,7 @@ fn bench_sim(c: &mut Criterion) {
             b.iter(|| {
                 let mut cfg = quick(SystemKind::FiosNeoFog, 150);
                 cfg.multiplex = f;
-                Simulator::new(black_box(cfg)).run()
+                Simulator::new(black_box(cfg)).expect("valid config").run()
             });
         });
     }

@@ -1,7 +1,7 @@
 //! The §5 contribution study: remove one NV-exploiting technique at a
 //! time from the full NEOFog node and measure the in-fog impact.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, events_flag};
 use neofog_core::experiment::ablation;
 use neofog_core::report::render_table;
 use neofog_energy::Scenario;
@@ -11,12 +11,16 @@ fn main() -> neofog_types::Result<()> {
         "Technique ablation",
         "§5: 'quantify the contributions due to individual techniques employed'",
     );
+    let mut events = events_flag();
     for (name, scenario) in [
         ("independent (forest)", Scenario::ForestIndependent),
         ("very low power (rainy mountain)", Scenario::MountainRainy),
     ] {
         println!("--- {name} ---");
-        let rows_data = ablation(scenario, 2)?;
+        // Only the first scenario logs events — a second pass would
+        // overwrite the file.
+        let log = events.take();
+        let rows_data = ablation(scenario, 2, log.as_deref())?;
         let full_fog = rows_data[0].fog.max(1);
         let rows: Vec<Vec<String>> = rows_data
             .iter()

@@ -19,7 +19,7 @@ fn main() -> neofog_types::Result<()> {
         ),
     ] {
         println!("=== {name} ===  {targets}");
-        let rows = figure10_11(scenario, &profiles)?;
+        let rows = figure10_11(scenario, &profiles, None)?;
         let avg = average_row(&rows);
         for s in &avg {
             println!(
@@ -53,7 +53,7 @@ fn main() -> neofog_types::Result<()> {
         ),
     ] {
         println!("=== {name} ===  {note}");
-        let (points, vp) = multiplex_sweep(sc, &[1, 2, 3, 4, 5], 3)?;
+        let (points, vp) = multiplex_sweep(sc, &[1, 2, 3, 4, 5], 3, None)?;
         println!("  VP reference: {vp}");
         for p in &points {
             println!(

@@ -1,7 +1,7 @@
 //! Regenerates Figure 10: wakeups / cloud-processed / fog-processed
 //! packages for five independent (forest) power profiles.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, events_flag};
 use neofog_core::experiment::{average_row, figure10_11};
 use neofog_core::report::render_table;
 use neofog_energy::Scenario;
@@ -11,7 +11,12 @@ fn main() -> neofog_types::Result<()> {
         "Figure 10 (independent power)",
         "paper avg: VP 13656 wake / 2664 cloud; NVP 12383 / 3236 total (3045 fog); NEOFog 5582 total (5018 fog); ideal 15000",
     );
-    let rows_data = figure10_11(Scenario::ForestIndependent, &[1, 2, 3, 4, 5])?;
+    let events = events_flag();
+    let rows_data = figure10_11(
+        Scenario::ForestIndependent,
+        &[1, 2, 3, 4, 5],
+        events.as_deref(),
+    )?;
     let mut rows: Vec<Vec<String>> = Vec::new();
     for r in &rows_data {
         for s in &r.systems {

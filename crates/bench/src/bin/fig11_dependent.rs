@@ -1,7 +1,7 @@
 //! Regenerates Figure 10: wakeups / cloud-processed / fog-processed
 //! packages for five dependent (bridge) power profiles.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, events_flag};
 use neofog_core::experiment::{average_row, figure10_11};
 use neofog_core::report::render_table;
 use neofog_energy::Scenario;
@@ -11,7 +11,12 @@ fn main() -> neofog_types::Result<()> {
         "Figure 11 (dependent power)",
         "paper avg: VP 13886 wake / 2494 cloud; NVP 12859 / 3439 total (3126 fog); NEOFog 6990 total (6418 fog); ideal 15000",
     );
-    let rows_data = figure10_11(Scenario::BridgeDependent, &[1, 2, 3, 4, 5])?;
+    let events = events_flag();
+    let rows_data = figure10_11(
+        Scenario::BridgeDependent,
+        &[1, 2, 3, 4, 5],
+        events.as_deref(),
+    )?;
     let mut rows: Vec<Vec<String>> = Vec::new();
     for r in &rows_data {
         for s in &r.systems {

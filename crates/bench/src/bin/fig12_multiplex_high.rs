@@ -2,7 +2,7 @@
 //! large-variance environment (sunny mountain) — gains are minimal
 //! because the in-fog processing rate is already high.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, events_flag};
 use neofog_core::experiment::multiplex_sweep;
 use neofog_core::report::{render_bars, render_table};
 use neofog_energy::Scenario;
@@ -13,7 +13,8 @@ fn main() -> neofog_types::Result<()> {
         "paper: VP w/o LB ~5000; NVP edges ~9500; multiplexing adds little",
     );
     let factors = [1u32, 2, 3, 4, 5];
-    let (points, vp) = multiplex_sweep(Scenario::MountainSunny, &factors, 3)?;
+    let events = events_flag();
+    let (points, vp) = multiplex_sweep(Scenario::MountainSunny, &factors, 3, events.as_deref())?;
     let mut rows = vec![vec![
         "VP w/o load balance".to_string(),
         "-".to_string(),

@@ -3,7 +3,7 @@
 //! clone substantially improves in-fog processing, saturating around
 //! 3x as successful sampling tops out near 8000.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, events_flag};
 use neofog_core::experiment::multiplex_sweep;
 use neofog_core::report::{render_bars, render_table};
 use neofog_energy::Scenario;
@@ -14,7 +14,8 @@ fn main() -> neofog_types::Result<()> {
         "paper: VP ~725 in-fog; NEOFog 100% ~2800; ~2X at 300%; saturates (sampling ~8000)",
     );
     let factors = [1u32, 2, 3, 4, 5];
-    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &factors, 3)?;
+    let events = events_flag();
+    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &factors, 3, events.as_deref())?;
     let mut rows = vec![vec![
         "VP w/o load balance".to_string(),
         "-".to_string(),

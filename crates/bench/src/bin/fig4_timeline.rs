@@ -1,12 +1,19 @@
 //! Regenerates Figures 1 and 4: per-phase activation timing of the
 //! NOS-VP, NOS-NVP and FIOS-NEOFog node designs.
+//!
+//! With `--events <path>` the binary additionally runs a short
+//! FIOS-NEOFog slot simulation and streams its typed event log to
+//! `<path>` as JSONL, so the per-slot phase sequence behind the
+//! timing figures can be inspected line by line.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, events_flag};
 use neofog_core::report::render_table;
+use neofog_core::sim::{SimConfig, Simulator};
 use neofog_core::timeline::Timeline;
 use neofog_core::SystemKind;
+use neofog_energy::Scenario;
 
-fn main() {
+fn main() -> neofog_types::Result<()> {
     banner(
         "Figures 1 & 4",
         "NOS-VP ~646 ms to first byte; NOS-NVP 36 ms; NEOFog radio work ~4 ms",
@@ -45,4 +52,18 @@ fn main() {
         "stored-energy window shrinks {}x from NOS-VP to FIOS-NEOFog",
         vp.stored_energy_time().as_micros() / neo.stored_energy_time().as_micros().max(1)
     );
+    if let Some(path) = events_flag() {
+        let mut cfg =
+            SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+        cfg.slots = 60;
+        cfg.events_path = Some(path.clone());
+        let result = Simulator::new(cfg)?.run();
+        println!(
+            "\nevent log: wrote {} slots of FIOS-NEOFog events to {path} \
+             ({} packages captured)",
+            60,
+            result.metrics.total_captured()
+        );
+    }
+    Ok(())
 }

@@ -1,7 +1,7 @@
 //! Regenerates Figure 9: stored energy level of three consecutive
 //! chain nodes under the three systems over a 5-hour daytime window.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, events_flag};
 use neofog_core::experiment::figure9;
 use neofog_core::report::downsample;
 
@@ -12,7 +12,8 @@ fn main() -> neofog_types::Result<()> {
          spend surplus on); balanced NVP systems run the store down by \
          doing fog work",
     );
-    let results = figure9(1)?;
+    let events = events_flag();
+    let results = figure9(1, events.as_deref())?;
     for node in 0..3 {
         println!("--- Node {} (stored energy, mJ, 0..300 min) ---", node + 1);
         for (label, metrics) in &results {

@@ -11,3 +11,20 @@ pub fn banner(what: &str, paper_says: &str) {
     println!("Paper reference: {paper_says}");
     println!("================================================================");
 }
+
+/// Parses an optional `--events <path>` flag from the process
+/// arguments.
+///
+/// The figure binaries pass the path through to the experiment
+/// helpers, which attach a JSONL event log to the first simulation of
+/// the batch. Returns `None` when the flag is absent or has no value
+/// following it.
+pub fn events_flag() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--events" {
+            return args.next();
+        }
+    }
+    None
+}

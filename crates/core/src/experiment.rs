@@ -53,7 +53,8 @@ pub struct ProfileRow {
 /// # Errors
 ///
 /// Returns [`NeoFogError::Internal`] if a simulation worker thread
-/// panics or a result goes missing.
+/// panics or a result goes missing, and propagates any
+/// [`Simulator::new`] configuration error.
 pub fn run_many(configs: Vec<SimConfig>) -> Result<Vec<SimResult>> {
     let workers = std::thread::available_parallelism()
         .map_or(4, std::num::NonZero::get)
@@ -72,15 +73,15 @@ pub fn run_many(configs: Vec<SimConfig>) -> Result<Vec<SimResult>> {
                 scope.spawn(move || {
                     chunk
                         .into_iter()
-                        .map(|(i, cfg)| (i, Simulator::new(cfg).run()))
-                        .collect::<Vec<_>>()
+                        .map(|(i, cfg)| Simulator::new(cfg).map(|sim| (i, sim.run())))
+                        .collect::<Result<Vec<_>>>()
                 })
             })
             .collect();
         for h in handles {
             out.extend(
                 h.join()
-                    .map_err(|_| NeoFogError::internal("simulation worker thread panicked"))?,
+                    .map_err(|_| NeoFogError::internal("simulation worker thread panicked"))??,
             );
         }
         Ok(())
@@ -92,14 +93,29 @@ pub fn run_many(configs: Vec<SimConfig>) -> Result<Vec<SimResult>> {
     Ok(out.into_iter().map(|(_, r)| r).collect())
 }
 
+/// Points the first configuration of a batch at a JSONL event log
+/// (see [`SimConfig`]'s `events_path`). One representative run per
+/// batch is logged: concurrent runs must not share a file, and one
+/// deterministic log is enough to replay and diff the batch's seed.
+fn log_first_run(configs: &mut [SimConfig], events: Option<&str>) {
+    if let (Some(path), Some(first)) = (events, configs.first_mut()) {
+        first.events_path = Some(path.to_string());
+    }
+}
+
 /// Figures 10 (independent) and 11 (dependent): runs all three systems
-/// over the given power profiles.
+/// over the given power profiles. When `events` is set, the first run
+/// of the batch streams its JSONL event log there.
 ///
 /// # Errors
 ///
 /// Propagates [`run_many`] failures.
-pub fn figure10_11(scenario: Scenario, profiles: &[u64]) -> Result<Vec<ProfileRow>> {
-    let configs: Vec<SimConfig> = profiles
+pub fn figure10_11(
+    scenario: Scenario,
+    profiles: &[u64],
+    events: Option<&str>,
+) -> Result<Vec<ProfileRow>> {
+    let mut configs: Vec<SimConfig> = profiles
         .iter()
         .flat_map(|&p| {
             SystemKind::ALL
@@ -107,6 +123,7 @@ pub fn figure10_11(scenario: Scenario, profiles: &[u64]) -> Result<Vec<ProfileRo
                 .map(move |&s| SimConfig::paper_default(s, scenario, p))
         })
         .collect();
+    log_first_run(&mut configs, events);
     let results = run_many(configs)?;
     Ok(profiles
         .iter()
@@ -145,10 +162,13 @@ pub fn average_row(rows: &[ProfileRow]) -> Vec<SystemSummary> {
 /// — all on a bright daytime solar window where an unbalanced node's
 /// capacitor is "frequently full, meaning further energy was rejected".
 ///
+/// When `events` is set, the first variant streams its JSONL event log
+/// there.
+///
 /// # Errors
 ///
 /// Propagates [`run_many`] failures.
-pub fn figure9(seed: u64) -> Result<Vec<(&'static str, NetworkMetrics)>> {
+pub fn figure9(seed: u64, events: Option<&str>) -> Result<Vec<(&'static str, NetworkMetrics)>> {
     use crate::sim::BalancerKind;
     let variants = [
         ("VP w/o load balance", SystemKind::NosVp, BalancerKind::None),
@@ -163,7 +183,7 @@ pub fn figure9(seed: u64) -> Result<Vec<(&'static str, NetworkMetrics)>> {
             BalancerKind::Distributed,
         ),
     ];
-    let configs: Vec<SimConfig> = variants
+    let mut configs: Vec<SimConfig> = variants
         .iter()
         .map(|&(_, system, balancer)| {
             let mut cfg = SimConfig::paper_default(system, Scenario::BridgeDependent, seed);
@@ -173,6 +193,7 @@ pub fn figure9(seed: u64) -> Result<Vec<(&'static str, NetworkMetrics)>> {
             cfg
         })
         .collect();
+    log_first_run(&mut configs, events);
     Ok(run_many(configs)?
         .into_iter()
         .zip(variants)
@@ -194,7 +215,9 @@ pub struct MultiplexPoint {
 }
 
 /// Figures 12/13: NVD4Q multiplexing sweep. Returns the NEOFog points
-/// for each factor plus the VP-without-balancing reference.
+/// for each factor plus the VP-without-balancing reference. When
+/// `events` is set, the first factor's run streams its JSONL event log
+/// there.
 ///
 /// # Errors
 ///
@@ -203,6 +226,7 @@ pub fn multiplex_sweep(
     scenario: Scenario,
     factors: &[u32],
     seed: u64,
+    events: Option<&str>,
 ) -> Result<(Vec<MultiplexPoint>, u64)> {
     let mut configs: Vec<SimConfig> = factors
         .iter()
@@ -213,6 +237,7 @@ pub fn multiplex_sweep(
         })
         .collect();
     configs.push(SimConfig::paper_default(SystemKind::NosVp, scenario, seed));
+    log_first_run(&mut configs, events);
     let mut results = run_many(configs)?;
     let vp = results
         .pop()
@@ -257,12 +282,13 @@ pub struct AblationRow {
 
 /// The §5 "contributions due to individual techniques" study: start
 /// from the full FIOS-NEOFog node and remove one nonvolatility-
-/// exploiting technique at a time.
+/// exploiting technique at a time. When `events` is set, the full
+/// NEOFog variant streams its JSONL event log there.
 ///
 /// # Errors
 ///
 /// Propagates [`run_many`] failures.
-pub fn ablation(scenario: Scenario, seed: u64) -> Result<Vec<AblationRow>> {
+pub fn ablation(scenario: Scenario, seed: u64, events: Option<&str>) -> Result<Vec<AblationRow>> {
     use crate::node::RadioControl;
     use crate::sim::BalancerKind;
     use neofog_energy::FrontEnd;
@@ -300,7 +326,8 @@ pub fn ablation(scenario: Scenario, seed: u64) -> Result<Vec<AblationRow>> {
     ));
 
     let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
-    let configs: Vec<SimConfig> = variants.into_iter().map(|(_, c)| c).collect();
+    let mut configs: Vec<SimConfig> = variants.into_iter().map(|(_, c)| c).collect();
+    log_first_run(&mut configs, events);
     Ok(run_many(configs)?
         .into_iter()
         .zip(labels)
@@ -318,7 +345,7 @@ pub fn ablation(scenario: Scenario, seed: u64) -> Result<Vec<AblationRow>> {
 ///
 /// Propagates [`run_many`] failures.
 pub fn headline(seed: u64) -> Result<Headline> {
-    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &[1, 3], seed)?;
+    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &[1, 3], seed, None)?;
     let vp = vp.max(1) as f64;
     let [one, three] = points.as_slice() else {
         return Err(NeoFogError::internal(
@@ -356,7 +383,7 @@ mod tests {
         let mut cfg =
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 7);
         shrink(&mut cfg);
-        let serial = Simulator::new(cfg.clone()).run();
+        let serial = Simulator::new(cfg.clone()).expect("config is valid").run();
         let parallel = run_many(vec![cfg]).expect("batch runs").remove(0);
         assert_eq!(serial.metrics, parallel.metrics);
     }

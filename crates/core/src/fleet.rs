@@ -38,26 +38,30 @@ pub struct FleetStat {
 impl FleetStat {
     /// Computes statistics from raw per-chain values.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `values` is empty.
-    #[must_use]
-    pub fn from_values(values: &[f64]) -> Self {
-        assert!(!values.is_empty(), "at least one chain required");
+    /// Returns [`NeoFogError::InvalidConfig`] if `values` is empty —
+    /// percentiles of an empty population are undefined.
+    pub fn from_values(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(NeoFogError::invalid_config(
+                "fleet statistics need at least one chain value",
+            ));
+        }
         let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
         let pct = |q: f64| -> f64 {
             let idx = (q * (sorted.len() - 1) as f64).round() as usize;
             sorted[idx]
         };
-        FleetStat {
+        Ok(FleetStat {
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             min: sorted[0],
             p10: pct(0.10),
             p50: pct(0.50),
             p90: pct(0.90),
             max: sorted[sorted.len() - 1],
-        }
+        })
     }
 }
 
@@ -131,9 +135,9 @@ pub fn run_fleet(base: &SimConfig, chains: usize) -> Result<FleetResult> {
     Ok(FleetResult {
         chains,
         nodes: chains * base.positions * base.multiplex as usize,
-        fog: FleetStat::from_values(&fog),
-        total: FleetStat::from_values(&total),
-        captured: FleetStat::from_values(&captured),
+        fog: FleetStat::from_values(&fog)?,
+        total: FleetStat::from_values(&total)?,
+        captured: FleetStat::from_values(&captured)?,
         fog_sum: results.iter().map(|r| r.metrics.fog_processed()).sum(),
     })
 }
@@ -153,12 +157,20 @@ mod tests {
 
     #[test]
     fn stats_are_ordered() {
-        let s = FleetStat::from_values(&[5.0, 1.0, 9.0, 3.0, 7.0]);
+        let s = FleetStat::from_values(&[5.0, 1.0, 9.0, 3.0, 7.0]).expect("non-empty");
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 9.0);
         assert_eq!(s.p50, 5.0);
         assert!(s.p10 <= s.p50 && s.p50 <= s.p90);
         assert!((s.mean - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_values_are_rejected_not_panicking() {
+        assert!(matches!(
+            FleetStat::from_values(&[]),
+            Err(NeoFogError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

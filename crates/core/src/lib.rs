@@ -15,9 +15,11 @@
 //! * [`nvd4q`] — inter-chain node virtualization for QoS
 //!   (Algorithm 2): clone sets time-multiplexing logical nodes via
 //!   NVRF state sharing.
-//! * [`sim`] — the slot-driven WSN system simulator, and [`fleet`] —
-//!   the parallel many-chain harness behind the paper's "our simulator
-//!   runs thousands of single-node simulators simultaneously".
+//! * [`sim`] — the slot-driven WSN system simulator, structured as a
+//!   six-phase pipeline emitting typed [`sim::SimEvent`]s to pluggable
+//!   observers, and [`fleet`] — the parallel many-chain harness behind
+//!   the paper's "our simulator runs thousands of single-node
+//!   simulators simultaneously".
 //! * [`metrics`] — wakeups / packets captured / cloud-processed /
 //!   fog-processed accounting, plus stored-energy traces (Figure 9).
 //! * [`experiment`] — ready-made configurations for every table and
@@ -46,4 +48,7 @@ pub use balance::{
 pub use metrics::{NetworkMetrics, NodeMetrics};
 pub use node::{NodeConfig, PackageSpec, SystemKind};
 pub use nvd4q::{CloneSet, VirtualizationManager};
-pub use sim::{SimConfig, SimResult, Simulator};
+pub use sim::{
+    BalancerKind, EventLogObserver, LedgerObserver, MetricsObserver, Observers, RadioPurpose,
+    ShedReason, SimConfig, SimEvent, SimObserver, SimResult, Simulator, StoredTraceObserver,
+};

@@ -1,0 +1,132 @@
+//! Phase 3 — balance: redistribute fog tasks among the awake
+//! representatives of each chain position.
+//!
+//! The configured intra-chain balancer sees one representative per
+//! logical position (the awake clone, if any) with its Spendthrift
+//! state, reassigns the pending fog tasks, and the transfer traffic is
+//! charged to the awake nodes.
+
+use super::ctx::{Package, SlotCtx};
+use super::event::{RadioPurpose, SimEvent};
+use super::{BalancerKind, Simulator};
+use crate::balance::{ChainBalanceInput, FogTask, NodeBalanceState};
+use neofog_types::{Energy, NodeId};
+
+pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
+    if !sim.cfg.system.is_fog_capable() || matches!(sim.cfg.balancer, BalancerKind::None) {
+        return;
+    }
+    let (parts, mut bus) = sim.split();
+    // One representative per position: the awake clone (if any).
+    let reps: Vec<Option<usize>> = parts
+        .positions
+        .iter()
+        .map(|phys| phys.iter().copied().find(|&i| ctx.awake[i]))
+        .collect();
+    let mut chain_nodes = Vec::with_capacity(parts.positions.len());
+    let mut rep_map = Vec::with_capacity(parts.positions.len());
+    for rep in &reps {
+        let (state, idx) = match rep {
+            Some(i) => {
+                let node = &parts.nodes[*i];
+                let level_income = ctx.income_power[*i];
+                let radio = parts.cfg.node.radio;
+                let tx_reserve = radio.session_cost(parts.rf)
+                    + radio.packet_cost(parts.rf, node.cfg.package.processed_bytes) * 2.0;
+                let spare = ctx.budgets[*i]
+                    .available(&node.cap)
+                    .saturating_sub(tx_reserve);
+                let tasks: Vec<FogTask> = node
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .map(|(k, p)| FogTask::new(p.fog_remaining, (*i as u64) << 32 | k as u64))
+                    .collect();
+                (
+                    NodeBalanceState {
+                        node: NodeId::new(*i as u32),
+                        spare_energy: spare,
+                        efficiency: parts.spendthrift.efficiency(level_income),
+                        throughput: parts.spendthrift.throughput(level_income),
+                        tasks,
+                        alive: true,
+                    },
+                    Some(*i),
+                )
+            }
+            None => (
+                NodeBalanceState {
+                    node: NodeId::new(u32::MAX),
+                    spare_energy: Energy::ZERO,
+                    efficiency: 0.0,
+                    throughput: 0.0,
+                    tasks: Vec::new(),
+                    alive: false,
+                },
+                None,
+            ),
+        };
+        chain_nodes.push(state);
+        rep_map.push(idx);
+    }
+    let mut input = ChainBalanceInput { nodes: chain_nodes };
+    let report = parts.balancer.balance(&mut input, parts.rng);
+    bus.emit(&SimEvent::TasksMigrated {
+        interrupted: report.interrupted_regions,
+        moved: report.tasks_moved,
+        hops: report.transfer_hops,
+    });
+
+    // Apply the assignment: rebuild each representative's pending
+    // queue from the post-balance task tags (a tag names the
+    // original holder and its queue index).
+    let all_packages: Vec<Vec<Package>> = parts
+        .nodes
+        .iter_mut()
+        .map(|n| std::mem::take(&mut n.pending))
+        .collect();
+    for (pos, state) in input.nodes.iter().enumerate() {
+        let Some(dest) = rep_map[pos] else { continue };
+        for task in &state.tasks {
+            let src = (task.tag >> 32) as usize;
+            let k = (task.tag & 0xFFFF_FFFF) as usize;
+            let pkg = all_packages[src][k];
+            parts.nodes[dest].pending.push(pkg);
+        }
+    }
+    // Sleeping clones keep their own pending packages (they were
+    // not offered to the balancer).
+    for (i, packages) in all_packages.into_iter().enumerate() {
+        if !ctx.awake[i] {
+            parts.nodes[i].pending.extend(packages);
+        }
+    }
+
+    // Charge transfer costs: each hop moves one raw package.
+    if report.transfer_hops > 0 {
+        let per_hop = parts
+            .cfg
+            .node
+            .radio
+            .packet_cost(parts.rf, parts.cfg.node.package.raw_bytes)
+            + parts
+                .cfg
+                .system
+                .rx_cost(parts.rf, parts.cfg.node.package.raw_bytes);
+        let participants: Vec<usize> = (0..parts.nodes.len()).filter(|&i| ctx.awake[i]).collect();
+        if !participants.is_empty() {
+            let share = per_hop * report.transfer_hops as f64 / participants.len() as f64;
+            for i in participants {
+                let node = &mut parts.nodes[i];
+                // The share is charged whether or not the spend lands
+                // in full — the airtime happened either way.
+                ctx.budgets[i].spend(&mut node.cap, &mut ctx.ledgers[i], share);
+                bus.emit(&SimEvent::RadioCharged {
+                    node: i,
+                    energy: share,
+                    purpose: RadioPurpose::Balance,
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Phase 4 — compute: execute fog tasks within each node's time and
+//! energy budget.
+//!
+//! Spendthrift chooses the frequency level from the effective
+//! sustainable power (income plus a damped stored-energy term); the
+//! head-of-queue task runs until time, energy or the transmit reserve
+//! runs out. Forward progress persists across slots on NVPs. At the
+//! tail of the phase, stale pending packages are shed: a node flush
+//! with energy ships them raw to the cloud, otherwise "the sampled
+//! data are discarded" (§5.1).
+
+use super::ctx::{Package, SlotCtx};
+use super::event::{ShedReason, SimEvent};
+use super::Simulator;
+use neofog_types::Power;
+
+pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
+    let fog_capable = sim.cfg.system.is_fog_capable();
+    let (parts, mut bus) = sim.split();
+    let slot_len = parts.cfg.slot_len;
+
+    if fog_capable {
+        for i in 0..parts.nodes.len() {
+            let node = &mut parts.nodes[i];
+            let ledger = &mut ctx.ledgers[i];
+            let budget = &mut ctx.budgets[i];
+            if node.pending.is_empty() {
+                continue;
+            }
+            // Spendthrift samples both income power and the stored-energy
+            // level (§2.2/§4): the effective sustainable power this slot is
+            // the income plus what the capacitor could contribute, so a
+            // node that accumulated for several sleeping slots (NVD4Q
+            // clones) boosts its frequency when it finally activates.
+            // The capacitor term is damped: the store must last beyond this
+            // one slot, so Spendthrift only banks half of it on the level
+            // decision.
+            let effective = ctx.income_power[i]
+                + Power::from_milliwatts(
+                    0.5 * budget.available(&node.cap).as_nanojoules() / slot_len.as_micros() as f64,
+                );
+            let lvl = parts.spendthrift.choose(effective);
+            let (epi, throughput) = (lvl.energy_per_inst, parts.spendthrift.throughput(effective));
+            // Keep a transmit reserve so computing never starves shipping.
+            let reserve = node.cfg.radio.session_cost(parts.rf)
+                + node
+                    .cfg
+                    .radio
+                    .packet_cost(parts.rf, node.cfg.package.processed_bytes);
+            let mut time_left = (throughput * slot_len.as_secs_f64()) as u64;
+            while time_left > 0 {
+                let Some(pkg) = node.pending.first_mut() else {
+                    break;
+                };
+                let energy_afford = budget
+                    .available(&node.cap)
+                    .saturating_sub(reserve)
+                    .as_nanojoules()
+                    / epi.as_nanojoules();
+                let run = pkg
+                    .fog_remaining
+                    .min(time_left)
+                    .min(energy_afford.max(0.0) as u64);
+                if run == 0 {
+                    break;
+                }
+                let cost = epi * run as f64;
+                if !budget.spend(&mut node.cap, ledger, cost) {
+                    break;
+                }
+                bus.emit(&SimEvent::FogProgressed {
+                    node: i,
+                    instructions: run,
+                    energy: cost,
+                });
+                pkg.fog_remaining -= run;
+                time_left -= run;
+                if pkg.fog_remaining == 0 {
+                    pkg.fog_done = true;
+                    let finished = node.pending.remove(0);
+                    node.outbox.push(finished);
+                    bus.emit(&SimEvent::FogCompleted { node: i });
+                }
+            }
+        }
+    }
+
+    // Stale pending packages: a node flush with energy ships them
+    // raw to the cloud; otherwise "the sampled data are discarded"
+    // (§5.1).
+    let stale_after = 20;
+    for i in 0..parts.nodes.len() {
+        let node = &mut parts.nodes[i];
+        let fog_len = node.cfg.package.fog_instructions;
+        // Packages with execution progress are never shed — killing
+        // a half-finished head would waste the energy already sunk.
+        let (stale, keep): (Vec<Package>, Vec<Package>) = node.pending.drain(..).partition(|p| {
+            p.fog_remaining == fog_len && ctx.slot.saturating_sub(p.created) > stale_after
+        });
+        node.pending = keep;
+        if node.cap.fraction() > 0.6 {
+            node.outbox.extend(stale);
+        } else if !stale.is_empty() {
+            bus.emit(&SimEvent::PackageShed {
+                node: i,
+                count: stale.len() as u64,
+                reason: ShedReason::Stale,
+            });
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Shared per-slot state the phase functions operate on.
+//!
+//! A [`SlotCtx`] is opened at the top of every slot and threaded
+//! through the six phases in order; it owns everything whose lifetime
+//! is exactly one slot (energy budgets, wake flags, income powers,
+//! conservation ledgers), while the durable node state lives in
+//! [`NodeSim`] on the simulator.
+
+use super::ledger::EnergyLedger;
+use crate::node::NodeConfig;
+use crate::sim::SimConfig;
+use neofog_energy::{PowerTrace, Rtc, SuperCap};
+use neofog_net::slots::SlotSchedule;
+use neofog_types::{Duration, Energy, Power, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// Maximum fog backlog a node admits (packages); the NV buffer sheds
+/// newer samples beyond this.
+pub(crate) const MAX_PENDING: usize = 8;
+
+/// One captured data package travelling through the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct Package {
+    /// Index of the capturing physical node.
+    pub(crate) origin: usize,
+    /// Slot of capture.
+    pub(crate) created: u64,
+    /// Remaining fog instructions (0 = processed).
+    pub(crate) fog_remaining: u64,
+    /// Whether the fog task completed.
+    pub(crate) fog_done: bool,
+}
+
+/// One physical node's live state (persists across slots).
+pub(crate) struct NodeSim {
+    pub(crate) cfg: NodeConfig,
+    pub(crate) cap: SuperCap,
+    pub(crate) rtc: Rtc,
+    pub(crate) trace: PowerTrace,
+    pub(crate) schedule: SlotSchedule,
+    /// Logical chain position this node implements.
+    pub(crate) position: usize,
+    /// Packages awaiting fog processing (fog systems only).
+    pub(crate) pending: Vec<Package>,
+    /// Packages ready for transmission.
+    pub(crate) outbox: Vec<Package>,
+    pub(crate) rng: SimRng,
+}
+
+/// Per-slot spendable energy: a direct pool (FIOS) plus the capacitor
+/// behind a discharge regulator.
+pub(crate) struct SlotBudget {
+    pub(crate) direct_left: Energy,
+    pub(crate) direct_eff: f64,
+    pub(crate) discharge_eff: f64,
+}
+
+impl SlotBudget {
+    pub(crate) fn available(&self, cap: &SuperCap) -> Energy {
+        self.direct_left + cap.stored() * self.discharge_eff
+    }
+
+    /// Spends `amount` (at the load), direct pool first, booking the
+    /// delivery and both channels' conversion losses in the ledger.
+    /// Returns false (spending nothing) if unaffordable.
+    pub(crate) fn spend(
+        &mut self,
+        cap: &mut SuperCap,
+        ledger: &mut EnergyLedger,
+        amount: Energy,
+    ) -> bool {
+        if self.available(cap) < amount {
+            return false;
+        }
+        let from_direct = amount.min(self.direct_left);
+        self.direct_left -= from_direct;
+        if self.direct_eff > 0.0 && from_direct > Energy::ZERO {
+            // The direct channel is lossy at the point of use: raw
+            // income `from_direct / eff` delivered only `from_direct`.
+            ledger.debit_loss(from_direct / self.direct_eff - from_direct);
+        }
+        let rest = amount - from_direct;
+        if rest > Energy::ZERO {
+            let gross = rest / self.discharge_eff;
+            // Floating-point slack: available() said yes.
+            let drawn = cap.discharge_up_to(gross);
+            debug_assert!(drawn >= gross * 0.999);
+            ledger.debit_loss(drawn.saturating_sub(rest));
+        }
+        ledger.debit_consumed(amount);
+        true
+    }
+
+    /// Returns the unspent direct pool converted back to raw income.
+    pub(crate) fn leftover_income(&mut self) -> Energy {
+        let left = self.direct_left;
+        self.direct_left = Energy::ZERO;
+        if self.direct_eff > 0.0 {
+            left / self.direct_eff
+        } else {
+            left
+        }
+    }
+}
+
+/// Everything whose lifetime is exactly one slot.
+pub(crate) struct SlotCtx {
+    /// Slot index.
+    pub(crate) slot: u64,
+    /// Slot start in simulated time.
+    pub(crate) t0: Duration,
+    /// Slot end in simulated time.
+    pub(crate) t1: Duration,
+    /// Per-node spendable budgets (filled by the harvest phase).
+    pub(crate) budgets: Vec<SlotBudget>,
+    /// Per-node wake flags (set by the wake phase).
+    pub(crate) awake: Vec<bool>,
+    /// Per-node mean income power over the slot (pre-RTC).
+    pub(crate) income_power: Vec<Power>,
+    /// One conservation ledger per node, opened against the stored
+    /// level entering the slot and settled at slot end.
+    pub(crate) ledgers: Vec<EnergyLedger>,
+}
+
+impl SlotCtx {
+    /// Opens the context for `slot`, with one ledger per node.
+    pub(crate) fn open(cfg: &SimConfig, nodes: &[NodeSim], slot: u64) -> Self {
+        let t0 = Duration::from_micros(slot * cfg.slot_len.as_micros());
+        let n_phys = nodes.len();
+        SlotCtx {
+            slot,
+            t0,
+            t1: t0 + cfg.slot_len,
+            budgets: Vec::with_capacity(n_phys),
+            awake: vec![false; n_phys],
+            income_power: vec![Power::ZERO; n_phys],
+            ledgers: nodes
+                .iter()
+                .map(|n| EnergyLedger::open(n.cap.stored()))
+                .collect(),
+        }
+    }
+}

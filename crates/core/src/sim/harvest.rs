@@ -1,0 +1,68 @@
+//! Phase 1 — harvest: integrate each node's power trace into its slot
+//! energy budget.
+//!
+//! Per node: the ambient trace is integrated over the slot and scaled
+//! by the harvester front-end; the RTC capacitor charges first
+//! (charging priority) and, if it lost synchronization, attempts a
+//! stored-energy resync; what remains builds the [`SlotBudget`]
+//! (crate-private) — FIOS nodes get a 90 %-efficient direct pool plus
+//! the capacitor, NOS nodes only the capacitor round-trip.
+
+use super::ctx::{SlotBudget, SlotCtx};
+use super::event::SimEvent;
+use super::Simulator;
+use neofog_types::{Energy, Power};
+
+pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
+    let (parts, mut bus) = sim.split();
+    let slot_len = parts.cfg.slot_len;
+    let fe = parts.cfg.node.front_end;
+    for i in 0..parts.nodes.len() {
+        let node = &mut parts.nodes[i];
+        let ledger = &mut ctx.ledgers[i];
+        let ambient = node.trace.energy_between(ctx.t0, ctx.t1);
+        let mut income = ambient * node.cfg.harvester_efficiency;
+        ledger.credit_harvest(income);
+        ctx.income_power[i] =
+            Power::from_milliwatts(income.as_nanojoules() / slot_len.as_micros() as f64);
+        // RTC priority charging (takes only what it needs; the RTC
+        // is a terminal load, so its intake books as consumed).
+        let past_rtc = node.rtc.charge_with_priority(income);
+        ledger.debit_consumed(income.saturating_sub(past_rtc));
+        income = past_rtc;
+        node.rtc.advance(slot_len);
+        if !node.rtc.is_synchronized() {
+            // Attempt a resynchronization with stored energy. Any
+            // draw the RTC cannot bank has left the capacitor for
+            // good and books as lost.
+            let drawn = node.cap.discharge_up_to(Energy::from_millijoules(1.0));
+            let spare = node.rtc.charge_with_priority(drawn);
+            ledger.debit_consumed(drawn.saturating_sub(spare));
+            ledger.debit_loss(spare);
+            node.rtc.resynchronize(Energy::from_millijoules(0.5));
+        }
+
+        let budget = if fe.has_direct_channel() {
+            SlotBudget {
+                direct_left: income * fe.direct_efficiency(),
+                direct_eff: fe.direct_efficiency(),
+                discharge_eff: fe.discharge_efficiency(),
+            }
+        } else {
+            // NOS: income goes through the capacitor first; the
+            // charge path's conversion loss plus any overflow a
+            // full capacitor rejects both book as lost.
+            let level = node.cap.stored();
+            let rejected = node.cap.charge(income);
+            ledger.debit_loss(income.saturating_sub(node.cap.stored().saturating_sub(level)));
+            bus.emit(&SimEvent::CapacitorOverflow { node: i, rejected });
+            SlotBudget {
+                direct_left: Energy::ZERO,
+                direct_eff: 0.0,
+                discharge_eff: fe.discharge_efficiency(),
+            }
+        };
+        bus.emit(&SimEvent::HarvestBooked { node: i, income });
+        ctx.budgets.push(budget);
+    }
+}

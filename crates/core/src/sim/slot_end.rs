@@ -1,0 +1,55 @@
+//! Phase 6 — slot end: bank leftovers, leak capacitors, settle
+//! ledgers.
+//!
+//! Unspent direct income charges the capacitor (overflow is rejected),
+//! capacitors self-discharge, volatile nodes lose their queues at
+//! power-down, and each node's conservation ledger settles into a
+//! [`SimEvent::LedgerSettled`] event for the observers to audit.
+
+use super::ctx::SlotCtx;
+use super::event::{ShedReason, SimEvent};
+use super::Simulator;
+use neofog_types::Energy;
+
+pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
+    let (parts, mut bus) = sim.split();
+    let system = parts.cfg.system;
+    let slot_len = parts.cfg.slot_len;
+    for (i, budget) in ctx.budgets.iter_mut().enumerate() {
+        let node = &mut parts.nodes[i];
+        let ledger = &mut ctx.ledgers[i];
+        // Unspent direct income charges the capacitor.
+        let leftover = budget.leftover_income();
+        if leftover > Energy::ZERO {
+            let level = node.cap.stored();
+            let rejected = node.cap.charge(leftover);
+            ledger.debit_loss(leftover.saturating_sub(node.cap.stored().saturating_sub(level)));
+            bus.emit(&SimEvent::CapacitorOverflow { node: i, rejected });
+        }
+        let level = node.cap.stored();
+        node.cap.leak(slot_len);
+        let leaked = level.saturating_sub(node.cap.stored());
+        ledger.debit_leak(leaked);
+        if !system.retains_state() {
+            // Volatile node: queues evaporate at power-down.
+            let lost = (node.pending.len() + node.outbox.len()) as u64;
+            if lost > 0 {
+                bus.emit(&SimEvent::PackageShed {
+                    node: i,
+                    count: lost,
+                    reason: ShedReason::Volatile,
+                });
+            }
+            node.pending.clear();
+            node.outbox.clear();
+        }
+        bus.emit(&SimEvent::CapacitorLeaked {
+            node: i,
+            leaked,
+            stored: node.cap.stored(),
+        });
+        if let Some(settled) = ledger.settlement(i, node.cap.stored()) {
+            bus.emit(&settled);
+        }
+    }
+}

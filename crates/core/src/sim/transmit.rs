@@ -1,0 +1,111 @@
+//! Phase 5 — transmit: ship outboxes into the chain mesh.
+//!
+//! A node with ready packages opens a radio session (531 ms software
+//! init / 33 ms NVM restore / 1.9 ms NVRF start depending on the
+//! system) and ships packages processed-first; the MAC layer relays
+//! transparently (§2.3), so delivery succeeds with the measured
+//! per-hop probability compounded over the hop count, and awake
+//! intermediate nodes are charged forwarding airtime.
+
+use super::ctx::SlotCtx;
+use super::event::{RadioPurpose, SimEvent};
+use super::Simulator;
+use neofog_types::Duration;
+
+pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
+    let (parts, mut bus) = sim.split();
+    let radio = parts.cfg.node.radio;
+    let session = radio.session_cost(parts.rf);
+    let n_pos = parts.positions.len();
+    // Forwarding duty (airtime) accumulated per position this slot.
+    let mut forward_bytes: Vec<u64> = vec![0; n_pos];
+
+    for i in 0..parts.nodes.len() {
+        if !ctx.awake[i] || parts.nodes[i].outbox.is_empty() {
+            continue;
+        }
+        let position = parts.nodes[i].position;
+        // Processed packages first: smaller and more valuable.
+        parts.nodes[i].outbox.sort_by_key(|p| !p.fog_done);
+        // Open the session only when the first packet is payable
+        // too — bringing the radio up and then browning out before
+        // anything is sent would waste the whole session.
+        let first = parts.nodes[i].outbox[0];
+        let first_bytes = if first.fog_done {
+            parts.nodes[i].cfg.package.processed_bytes
+        } else {
+            parts.nodes[i].cfg.package.raw_bytes
+        };
+        let first_cost = radio.packet_cost(parts.rf, first_bytes);
+        if ctx.budgets[i].available(&parts.nodes[i].cap) < session + first_cost {
+            continue;
+        }
+        if !ctx.budgets[i].spend(&mut parts.nodes[i].cap, &mut ctx.ledgers[i], session) {
+            continue;
+        }
+        bus.emit(&SimEvent::RadioCharged {
+            node: i,
+            energy: session,
+            purpose: RadioPurpose::Session,
+        });
+        let hops = position as u32; // hops to the sink edge
+        while let Some(pkg) = parts.nodes[i].outbox.first().copied() {
+            let bytes = if pkg.fog_done {
+                parts.nodes[i].cfg.package.processed_bytes
+            } else {
+                parts.nodes[i].cfg.package.raw_bytes
+            };
+            let cost = radio.packet_cost(parts.rf, bytes);
+            if !ctx.budgets[i].spend(&mut parts.nodes[i].cap, &mut ctx.ledgers[i], cost) {
+                break;
+            }
+            bus.emit(&SimEvent::RadioCharged {
+                node: i,
+                energy: cost,
+                purpose: RadioPurpose::Packet,
+            });
+            parts.nodes[i].outbox.remove(0);
+            // End-to-end delivery through the transparent MAC:
+            // per-hop loss compounded over the chain.
+            let delivered = {
+                let p = parts.loss.chain_success(hops + 1);
+                parts.nodes[i].rng.chance(p)
+            };
+            // Relay duty accrues at intermediate positions.
+            for pb in forward_bytes.iter_mut().take(position) {
+                *pb += u64::from(bytes);
+            }
+            let origin = pkg.origin;
+            if delivered {
+                bus.emit(&SimEvent::PackageDelivered {
+                    origin,
+                    fog_done: pkg.fog_done,
+                });
+            } else {
+                bus.emit(&SimEvent::PackageLost { origin });
+            }
+        }
+    }
+
+    // Charge forwarding airtime to awake representatives of the
+    // relay positions (RX + TX per byte).
+    for (pos, &bytes) in forward_bytes.iter().enumerate() {
+        if bytes == 0 {
+            continue;
+        }
+        let Some(rep) = parts.positions[pos].iter().copied().find(|&i| ctx.awake[i]) else {
+            continue;
+        };
+        let per_byte =
+            parts.rf.active_power * Duration::from_micros(2 * parts.rf.on_air_per_byte_us);
+        let duty = per_byte * bytes as f64;
+        let node = &mut parts.nodes[rep];
+        if ctx.budgets[rep].spend(&mut node.cap, &mut ctx.ledgers[rep], duty) {
+            bus.emit(&SimEvent::RadioCharged {
+                node: rep,
+                energy: duty,
+                purpose: RadioPurpose::Relay,
+            });
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Phase 2 — wake/capture: scheduled nodes pay the activation
+//! threshold and capture one data package.
+//!
+//! A node scheduled this slot (its clone phase) wakes only if its
+//! budget covers the system's activation threshold; a scheduled node
+//! that cannot afford it is a *failure* (energy depletion). Awake
+//! nodes capture one package (rain can spoil the sample); fog-capable
+//! nodes enqueue its processing task behind a bounded NV admission
+//! buffer, others ship it raw.
+
+use super::ctx::{Package, SlotCtx, MAX_PENDING};
+use super::event::{ShedReason, SimEvent};
+use super::Simulator;
+
+pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
+    let (parts, mut bus) = sim.split();
+    let system = parts.cfg.system;
+    for i in 0..parts.nodes.len() {
+        let node = &mut parts.nodes[i];
+        let ledger = &mut ctx.ledgers[i];
+        let budget = &mut ctx.budgets[i];
+        let scheduled = node.schedule.wakes_at(ctx.slot) && node.rtc.is_synchronized();
+        if !scheduled {
+            continue;
+        }
+        if budget.available(&node.cap) >= system.wake_threshold() {
+            budget.spend(&mut node.cap, ledger, system.wake_cost());
+            ctx.awake[i] = true;
+            bus.emit(&SimEvent::NodeWoke { node: i });
+            // Capture one package (rain can spoil the sample).
+            if !node.rng.chance(parts.cfg.sampling_success) {
+                continue;
+            }
+            bus.emit(&SimEvent::PackageCaptured { node: i });
+            let pkg = Package {
+                origin: i,
+                created: ctx.slot,
+                fog_remaining: node.cfg.package.fog_instructions,
+                fog_done: false,
+            };
+            if system.is_fog_capable() {
+                // Admission control: the NV buffer holds a bounded
+                // backlog; beyond it new samples are discarded ("if
+                // the node lacks energy to process ... the sampled
+                // data are discarded").
+                if node.pending.len() < MAX_PENDING {
+                    node.pending.push(pkg);
+                } else {
+                    bus.emit(&SimEvent::PackageShed {
+                        node: i,
+                        count: 1,
+                        reason: ShedReason::BufferFull,
+                    });
+                }
+            } else {
+                node.outbox.push(pkg);
+            }
+        } else {
+            bus.emit(&SimEvent::WakeFailed { node: i });
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Behavior-preservation tests for the phase-pipeline refactor.
+//!
+//! The simulator was split from one monolithic loop into six phase
+//! functions feeding a typed event bus; these tests pin the observable
+//! behavior to the pre-refactor implementation. The golden values were
+//! captured from the monolithic simulator at the paper-default
+//! configuration (forest scenario, seed 1, 150 slots) and are
+//! identical in debug and release builds.
+
+use neofog_core::sim::{SimConfig, Simulator};
+use neofog_core::SystemKind;
+use neofog_energy::Scenario;
+
+fn quick(system: SystemKind) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(system, Scenario::ForestIndependent, 1);
+    cfg.slots = 150;
+    cfg
+}
+
+struct Golden {
+    system: SystemKind,
+    wakeups: u64,
+    failures: u64,
+    captured: u64,
+    fog: u64,
+    cloud: u64,
+    dropped: u64,
+    tasks: u64,
+    balance: (u64, u64, u64),
+    harvested_bits: u64,
+    rejected_bits: u64,
+    radio_bits: u64,
+    compute_bits: u64,
+}
+
+/// Captured from the pre-refactor monolithic `sim.rs` at commit
+/// 99568a6 by summing per-node energies in nanojoules and taking
+/// `f64::to_bits` — bit-exact equality means the refactor preserved
+/// the floating-point accumulation order, not just the totals.
+const GOLDENS: &[Golden] = &[
+    Golden {
+        system: SystemKind::NosVp,
+        wakeups: 1500,
+        failures: 0,
+        captured: 1500,
+        fog: 0,
+        cloud: 252,
+        dropped: 1248,
+        tasks: 0,
+        balance: (0, 0, 0),
+        harvested_bits: 0x42242f6acb210bef,
+        rejected_bits: 0xbe48000000000000,
+        radio_bits: 0x42153c17537ffffa,
+        compute_bits: 0x0,
+    },
+    Golden {
+        system: SystemKind::NosNvp,
+        wakeups: 1492,
+        failures: 8,
+        captured: 1492,
+        fog: 244,
+        cloud: 0,
+        dropped: 1169,
+        tasks: 252,
+        balance: (116, 626, 2101),
+        harvested_bits: 0x42242f6acb210bef,
+        rejected_bits: 0xbe48000000000000,
+        radio_bits: 0x41ff8f359a9999a5,
+        compute_bits: 0x420c46bd8134007f,
+    },
+    Golden {
+        system: SystemKind::FiosNeoFog,
+        wakeups: 1500,
+        failures: 0,
+        captured: 1500,
+        fog: 472,
+        cloud: 0,
+        dropped: 955,
+        tasks: 496,
+        balance: (0, 0, 10),
+        harvested_bits: 0x42242f6acb210bef,
+        rejected_bits: 0x420295ed1382edf8,
+        radio_bits: 0x41b143533ffffffd,
+        compute_bits: 0x4218478d345c6829,
+    },
+];
+
+#[test]
+fn metrics_observer_reproduces_pre_refactor_results() {
+    for g in GOLDENS {
+        let result = Simulator::new(quick(g.system)).expect("valid config").run();
+        let m = &result.metrics;
+        let label = g.system.label();
+        assert_eq!(m.total_wakeups(), g.wakeups, "{label} wakeups");
+        assert_eq!(m.total_failures(), g.failures, "{label} failures");
+        assert_eq!(m.total_captured(), g.captured, "{label} captured");
+        assert_eq!(m.fog_processed(), g.fog, "{label} fog");
+        assert_eq!(m.cloud_processed(), g.cloud, "{label} cloud");
+        assert_eq!(m.total_dropped(), g.dropped, "{label} dropped");
+        let tasks: u64 = m.nodes.iter().map(|n| n.tasks_executed).sum();
+        assert_eq!(tasks, g.tasks, "{label} tasks");
+        assert_eq!(
+            (
+                m.balance_interruptions,
+                m.balance_tasks_moved,
+                m.balance_transfer_hops
+            ),
+            g.balance,
+            "{label} balance counters"
+        );
+        let bits = |f: fn(&neofog_core::NodeMetrics) -> f64| -> u64 {
+            m.nodes.iter().map(f).sum::<f64>().to_bits()
+        };
+        assert_eq!(
+            bits(|n| n.harvested.as_nanojoules()),
+            g.harvested_bits,
+            "{label} harvested bits"
+        );
+        assert_eq!(
+            bits(|n| n.rejected.as_nanojoules()),
+            g.rejected_bits,
+            "{label} rejected bits"
+        );
+        assert_eq!(
+            bits(|n| n.radio_energy.as_nanojoules()),
+            g.radio_bits,
+            "{label} radio bits"
+        );
+        assert_eq!(
+            bits(|n| n.compute_energy.as_nanojoules()),
+            g.compute_bits,
+            "{label} compute bits"
+        );
+    }
+}
+
+#[test]
+fn event_log_is_byte_identical_across_runs() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let paths = [
+        dir.join(format!("neofog-events-{pid}-a.jsonl")),
+        dir.join(format!("neofog-events-{pid}-b.jsonl")),
+    ];
+    let mut logs = Vec::new();
+    for path in &paths {
+        let mut cfg = quick(SystemKind::FiosNeoFog);
+        cfg.events_path = Some(path.display().to_string());
+        let _ = Simulator::new(cfg).expect("valid config").run();
+        let bytes = std::fs::read(path).expect("event log written");
+        std::fs::remove_file(path).ok();
+        logs.push(bytes);
+    }
+    assert!(!logs[0].is_empty(), "event log must not be empty");
+    assert_eq!(logs[0], logs[1], "same config + seed must log identically");
+    let text = String::from_utf8(logs.pop().expect("two logs")).expect("utf-8 JSONL");
+    for line in text.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+        assert!(line.contains("\"slot\":"), "line missing slot: {line}");
+        assert!(line.contains("\"kind\":\""), "line missing kind: {line}");
+    }
+    assert!(
+        text.lines().count() > 300,
+        "150 slots should log >300 events"
+    );
+}
+
+#[test]
+fn event_log_brackets_every_slot() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("neofog-events-{}-c.jsonl", std::process::id()));
+    let mut cfg = quick(SystemKind::NosVp);
+    cfg.slots = 25;
+    cfg.events_path = Some(path.display().to_string());
+    let _ = Simulator::new(cfg).expect("valid config").run();
+    let text = std::fs::read_to_string(&path).expect("event log written");
+    std::fs::remove_file(&path).ok();
+    let begins = text
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"slot_began\""))
+        .count();
+    let ends = text
+        .lines()
+        .filter(|l| l.contains("\"kind\":\"slot_ended\""))
+        .count();
+    assert_eq!(begins, 25, "one slot_began per slot");
+    assert_eq!(ends, 25, "one slot_ended per slot");
+}

@@ -242,6 +242,40 @@ struct FileCtx<'a> {
     out: Vec<Violation>,
 }
 
+/// Matches a workspace-relative path against a glob pattern where `*`
+/// stands for any run of characters except `/`. A pattern without `*`
+/// degrades to exact equality, so plain paths keep their old meaning.
+pub(crate) fn glob_matches(pattern: &str, path: &str) -> bool {
+    fn segment_matches(pat: &str, seg: &str) -> bool {
+        match pat.split_once('*') {
+            None => pat == seg,
+            Some((prefix, rest)) => {
+                let Some(tail) = seg.strip_prefix(prefix) else {
+                    return false;
+                };
+                // Greedy scan: try every split point for the `*`.
+                (0..=tail.len())
+                    .rev()
+                    .filter(|&k| tail.is_char_boundary(k))
+                    .any(|k| segment_matches(rest, &tail[k..]))
+            }
+        }
+    }
+    let mut pats = pattern.split('/');
+    let mut segs = path.split('/');
+    loop {
+        match (pats.next(), segs.next()) {
+            (None, None) => return true,
+            (Some(p), Some(s)) => {
+                if !segment_matches(p, s) {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
 impl FileCtx<'_> {
     fn rule_applies(&self, rule_id: &str) -> bool {
         let Some(rule) = rules::rule_by_id(rule_id) else {
@@ -251,11 +285,12 @@ impl FileCtx<'_> {
             Scope::Library => self.class.is_library,
             Scope::SimCrates => self.class.is_sim,
             Scope::File(path) => self.rel == path,
+            Scope::Glob(pattern) => glob_matches(pattern, self.rel),
         };
         in_scope
             && !rules::FILE_ALLOWS
                 .iter()
-                .any(|a| a.rule == rule_id && a.path == self.rel)
+                .any(|a| a.rule == rule_id && glob_matches(a.path, self.rel))
     }
 
     fn push(&mut self, rule: &'static str, line: u32, message: String) {
@@ -568,8 +603,48 @@ mod tests {
     use super::*;
 
     #[test]
+    fn glob_matching_is_segment_wise() {
+        assert!(glob_matches(
+            "crates/core/src/sim/*.rs",
+            "crates/core/src/sim/harvest.rs"
+        ));
+        assert!(glob_matches(
+            "crates/core/src/sim/*.rs",
+            "crates/core/src/sim/mod.rs"
+        ));
+        // `*` never crosses a `/`.
+        assert!(!glob_matches(
+            "crates/core/src/sim/*.rs",
+            "crates/core/src/sim/deep/x.rs"
+        ));
+        // Fewer segments than the pattern is not a match either.
+        assert!(!glob_matches(
+            "crates/core/src/sim/*.rs",
+            "crates/core/src/sim.rs"
+        ));
+        // Patterns without `*` are exact-path equality.
+        assert!(glob_matches(
+            "crates/core/src/fleet.rs",
+            "crates/core/src/fleet.rs"
+        ));
+        assert!(!glob_matches(
+            "crates/core/src/fleet.rs",
+            "crates/core/src/fleet2.rs"
+        ));
+        // Multiple stars in one segment backtrack correctly.
+        assert!(glob_matches(
+            "crates/*/src/*_end.rs",
+            "crates/core/src/slot_end.rs"
+        ));
+        assert!(!glob_matches(
+            "crates/*/src/*_end.rs",
+            "crates/core/src/slotend.rs"
+        ));
+    }
+
+    #[test]
     fn classification_covers_the_layout() {
-        assert!(classify("crates/core/src/sim.rs").is_some_and(|c| c.is_sim));
+        assert!(classify("crates/core/src/sim/mod.rs").is_some_and(|c| c.is_sim));
         assert!(classify("crates/types/src/units.rs").is_some_and(|c| !c.is_sim));
         assert!(classify("crates/bench/src/bin/headline.rs").is_some_and(|c| !c.is_library));
         assert_eq!(classify("crates/core/tests/prop_balance.rs"), None);

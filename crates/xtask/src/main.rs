@@ -160,6 +160,7 @@ fn print_rules() {
             Scope::Library => "library code".to_string(),
             Scope::SimCrates => "sim crates (core, energy, net, nvp, rf)".to_string(),
             Scope::File(p) => p.to_string(),
+            Scope::Glob(p) => p.to_string(),
         };
         println!(
             "{}  [{}]\n  {}\n  why: {}\n",

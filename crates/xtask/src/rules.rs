@@ -23,6 +23,11 @@ pub enum Scope {
     SimCrates,
     /// A single file, named by workspace-relative path.
     File(&'static str),
+    /// A set of files matched by a workspace-relative glob pattern.
+    /// `*` matches any run of characters except `/`, so
+    /// `crates/core/src/sim/*.rs` covers the phase-pipeline modules
+    /// without reaching into nested directories.
+    Glob(&'static str),
 }
 
 /// One lint rule.
@@ -100,7 +105,7 @@ pub const RULES: &[Rule] = &[
                     booked in the EnergyLedger so debug builds can assert \
                     per-slot conservation (harvested = consumed + stored + \
                     leaked + lost)",
-        scope: Scope::File("crates/core/src/sim.rs"),
+        scope: Scope::Glob("crates/core/src/sim/*.rs"),
     },
 ];
 
@@ -109,7 +114,9 @@ pub const RULES: &[Rule] = &[
 pub struct FileAllow {
     /// Rule being waived.
     pub rule: &'static str,
-    /// Workspace-relative path (forward slashes).
+    /// Workspace-relative path (forward slashes). May use `*` with
+    /// the same semantics as [`Scope::Glob`]; a path without `*`
+    /// matches exactly.
     pub path: &'static str,
     /// Why the exemption is sound.
     pub reason: &'static str,
@@ -189,8 +196,8 @@ pub const FILE_ALLOWS: &[FileAllow] = &[
     },
     FileAllow {
         rule: "NF-PANIC-003",
-        path: "crates/core/src/sim.rs",
-        reason: "slot loop over per-node vectors all sized to the node count",
+        path: "crates/core/src/sim/*.rs",
+        reason: "phase functions loop over per-node vectors all sized to the node count",
     },
     FileAllow {
         rule: "NF-PANIC-003",
@@ -341,9 +348,9 @@ pub const BANNED_PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unim
 /// Method names banned by NF-PANIC-001.
 pub const BANNED_PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
-/// Methods in `crates/core/src/sim.rs` that move energy and must be
-/// booked in the `EnergyLedger` (an `ledger` identifier within two
-/// lines of the call).
+/// Methods in the `crates/core/src/sim/` phase modules that move
+/// energy and must be booked in the `EnergyLedger` (a `ledger`
+/// identifier within two lines of the call).
 pub const LEDGER_METHODS: &[&str] = &[
     "charge",
     "charge_with_priority",

@@ -1,5 +1,5 @@
 //! NF-LEDGER-001 fixture: energy moved without booking it in the
-//! conservation ledger (only meaningful under the sim.rs scope).
+//! conservation ledger (only meaningful under the sim/*.rs scope).
 
 fn unbooked(cap: &mut SuperCap, gross: Energy) {
     let drawn = cap.discharge_up_to(gross);

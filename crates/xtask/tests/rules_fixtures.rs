@@ -116,17 +116,37 @@ fn panic_rule_flags_slice_indexing() {
 
 #[test]
 fn ledger_rule_flags_unbooked_energy_motion() {
-    let hits = ids("crates/core/src/sim.rs", include_str!("fixtures/ledger.rs"));
-    assert_eq!(hits, vec!["NF-LEDGER-001"; 2], "discharge_up_to and leak");
+    // The rule's glob scope must cover every phase module of the
+    // pipeline, not just one blessed filename.
+    for path in [
+        "crates/core/src/sim/harvest.rs",
+        "crates/core/src/sim/slot_end.rs",
+        "crates/core/src/sim/fixture.rs",
+    ] {
+        let hits = ids(path, include_str!("fixtures/ledger.rs"));
+        assert_eq!(
+            hits,
+            vec!["NF-LEDGER-001"; 2],
+            "discharge_up_to and leak at {path}"
+        );
+    }
 }
 
 #[test]
 fn ledger_rule_is_scoped_to_the_simulator() {
-    let hits = ids(
+    for path in [
         "crates/core/src/metrics.rs",
-        include_str!("fixtures/ledger.rs"),
-    );
-    assert!(hits.is_empty(), "only sim.rs owns the slot loop: {hits:?}");
+        // The pre-refactor monolith path is out of scope now ...
+        "crates/core/src/sim.rs",
+        // ... and the glob's `*` must not cross directory separators.
+        "crates/core/src/sim/nested/fixture.rs",
+    ] {
+        let hits = ids(path, include_str!("fixtures/ledger.rs"));
+        assert!(
+            hits.is_empty(),
+            "only sim/*.rs owns the slot loop, got {hits:?} at {path}"
+        );
+    }
 }
 
 #[test]

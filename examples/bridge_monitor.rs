@@ -107,7 +107,7 @@ fn main() {
     for system in SystemKind::ALL {
         let mut cfg = SimConfig::paper_default(system, Scenario::BridgeDependent, 11);
         cfg.slots = 300;
-        let result = Simulator::new(cfg).run();
+        let result = Simulator::new(cfg).expect("valid config").run();
         println!(
             "  {:12} -> {:4} packages ({} fog, {} cloud)",
             system.label(),

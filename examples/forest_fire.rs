@@ -24,7 +24,7 @@ fn main() {
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 5);
         cfg.balancer = balancer;
         cfg.slots = 750; // 2.5 h
-        let result = Simulator::new(cfg).run();
+        let result = Simulator::new(cfg).expect("valid config").run();
         let m = &result.metrics;
         rows.push(vec![
             format!("{balancer:?}"),
@@ -54,7 +54,7 @@ fn main() {
     let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 5);
     cfg.slots = 750;
     cfg.trace_stored = true;
-    let result = Simulator::new(cfg).run();
+    let result = Simulator::new(cfg).expect("valid config").run();
     println!("stored energy of nodes 1-3 (mJ, sampled across 2.5 h):");
     for node in 0..3 {
         let curve = downsample(&result.metrics.nodes[node].stored_series, 20);

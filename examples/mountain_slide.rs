@@ -55,7 +55,7 @@ fn main() {
             let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, scenario, 9);
             cfg.multiplex = factor;
             cfg.slots = 750;
-            let result = Simulator::new(cfg).run();
+            let result = Simulator::new(cfg).expect("valid config").run();
             let m = &result.metrics;
             rows.push(vec![
                 format!("{factor}00%"),

@@ -15,7 +15,7 @@ fn main() {
     for system in SystemKind::ALL {
         let mut cfg = SimConfig::paper_default(system, Scenario::ForestIndependent, 42);
         cfg.slots = 300; // 300 x 12 s = 1 hour
-        let result = Simulator::new(cfg).run();
+        let result = Simulator::new(cfg).expect("valid config").run();
         let m = &result.metrics;
         rows.push(vec![
             system.label().to_string(),

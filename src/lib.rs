@@ -32,7 +32,7 @@
 //!     42,
 //! );
 //! cfg.slots = 150;
-//! let result = Simulator::new(cfg).run();
+//! let result = Simulator::new(cfg).expect("valid config").run();
 //! assert!(result.metrics.fog_processed() > 0);
 //! ```
 
@@ -47,7 +47,9 @@ pub use neofog_workloads as workloads;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use neofog_core::sim::{BalancerKind, SimConfig, SimResult, Simulator};
+    pub use neofog_core::sim::{
+        BalancerKind, SimConfig, SimEvent, SimObserver, SimResult, Simulator,
+    };
     pub use neofog_core::{NodeConfig, PackageSpec, SystemKind};
     pub use neofog_energy::{PowerTrace, Scenario, SuperCap, TraceGenerator};
     pub use neofog_nvp::{NvBuffer, Processor, ProcessorKind};

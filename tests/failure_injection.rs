@@ -66,7 +66,7 @@ fn starvation_scenario_never_panics_and_keeps_invariants() {
         cfg.slots = 300;
         cfg.node.cap_capacity = Energy::from_millijoules(5.0);
         cfg.node.initial_charge = 0.0;
-        let result = Simulator::new(cfg).run();
+        let result = Simulator::new(cfg).expect("valid config").run();
         let m = &result.metrics;
         assert!(m.total_processed() <= m.total_captured());
         assert!(m.total_captured() <= m.total_wakeups());
@@ -80,14 +80,14 @@ fn packet_loss_scales_with_weather() {
         let mut cfg =
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 5);
         cfg.slots = 400;
-        Simulator::new(cfg).run()
+        Simulator::new(cfg).expect("valid config").run()
     };
     let stormy = {
         let mut cfg =
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 5);
         cfg.slots = 400;
         cfg.weather_loss = 0.30;
-        Simulator::new(cfg).run()
+        Simulator::new(cfg).expect("valid config").run()
     };
     assert!(
         stormy.metrics.total_processed() < clear.metrics.total_processed(),
@@ -101,7 +101,7 @@ fn packet_loss_scales_with_weather() {
 fn volatile_nodes_drop_undelivered_work() {
     let mut cfg = SimConfig::paper_default(SystemKind::NosVp, Scenario::ForestIndependent, 3);
     cfg.slots = 300;
-    let result = Simulator::new(cfg).run();
+    let result = Simulator::new(cfg).expect("valid config").run();
     let m = &result.metrics;
     // A VP can only deliver what it transmits in the same slot; the
     // rest evaporates at power-down.
@@ -116,7 +116,7 @@ fn balancer_misconfiguration_is_harmless() {
     let mut cfg = SimConfig::paper_default(SystemKind::NosVp, Scenario::ForestIndependent, 9);
     cfg.balancer = BalancerKind::Distributed;
     cfg.slots = 200;
-    let result = Simulator::new(cfg).run();
+    let result = Simulator::new(cfg).expect("valid config").run();
     assert_eq!(result.metrics.balance_tasks_moved, 0);
     assert_eq!(result.metrics.fog_processed(), 0);
 }

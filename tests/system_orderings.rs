@@ -10,7 +10,7 @@ use neofog::prelude::*;
 fn run(system: SystemKind, scenario: Scenario, seed: u64, slots: u64) -> SimResult {
     let mut cfg = SimConfig::paper_default(system, scenario, seed);
     cfg.slots = slots;
-    Simulator::new(cfg).run()
+    Simulator::new(cfg).expect("valid config").run()
 }
 
 #[test]
@@ -72,7 +72,13 @@ fn figure12_sunny_multiplexing_adds_little() {
         let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainSunny, 4);
         cfg.multiplex = factor;
         cfg.slots = 500;
-        fogs.push(Simulator::new(cfg).run().metrics.fog_processed());
+        fogs.push(
+            Simulator::new(cfg)
+                .expect("valid config")
+                .run()
+                .metrics
+                .fog_processed(),
+        );
     }
     // High power: the in-fog rate is already high; 3x multiplexing
     // gains far less than 2x (the paper shows "minimal gains").
@@ -87,7 +93,13 @@ fn figure13_rainy_multiplexing_doubles_then_saturates() {
         let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainRainy, 4);
         cfg.multiplex = factor;
         cfg.slots = 750;
-        fogs.push(Simulator::new(cfg).run().metrics.fog_processed());
+        fogs.push(
+            Simulator::new(cfg)
+                .expect("valid config")
+                .run()
+                .metrics
+                .fog_processed(),
+        );
     }
     let g3 = fogs[1] as f64 / fogs[0].max(1) as f64;
     let g5 = fogs[2] as f64 / fogs[1].max(1) as f64;
@@ -129,7 +141,7 @@ fn figure9_vp_hoards_stored_energy() {
     // Figure 9: the VP without load balancing keeps its capacitor far
     // fuller than balanced NVP nodes, which convert the same income
     // into fog work instead.
-    let results = neofog::core::experiment::figure9(1).expect("figure9 runs");
+    let results = neofog::core::experiment::figure9(1, None).expect("figure9 runs");
     let mean = |m: &neofog::core::NetworkMetrics| -> f64 {
         let values: Vec<f32> = m
             .nodes

@@ -46,7 +46,7 @@ fn multiplexed_simulation_halves_per_node_duty() {
     let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainSunny, 8);
     cfg.multiplex = 2;
     cfg.slots = 400;
-    let result = Simulator::new(cfg).run();
+    let result = Simulator::new(cfg).expect("valid config").run();
     let m = &result.metrics;
     assert_eq!(m.nodes.len(), 20);
     for (i, node) in m.nodes.iter().enumerate() {
@@ -71,7 +71,7 @@ fn virtualization_does_not_change_logical_hops() {
         let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainSunny, 2);
         cfg.multiplex = factor;
         cfg.slots = 200;
-        let result = Simulator::new(cfg).run();
+        let result = Simulator::new(cfg).expect("valid config").run();
         // Delivery ratio is governed by the 10-position chain loss, so
         // it must not degrade with physical density.
         assert!(result.metrics.total_processed() > 0);
