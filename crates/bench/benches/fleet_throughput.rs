@@ -1,0 +1,42 @@
+//! Fleet throughput across worker counts: how the work-stealing
+//! runner scales a fixed 64-chain fleet as `--workers` grows. The
+//! streaming reducer keeps aggregation off the critical path, so the
+//! walltime should drop roughly linearly until the core count (or the
+//! channel/coordination overhead) bites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neofog_core::fleet::run_fleet_with;
+use neofog_core::runner::{NoProgress, PoolConfig};
+use neofog_core::sim::SimConfig;
+use neofog_core::SystemKind;
+use neofog_energy::Scenario;
+use std::hint::black_box;
+
+fn fleet_base() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+    cfg.slots = 60;
+    cfg
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+    let base = fleet_base();
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("64_chains", workers), &workers, |b, &w| {
+            b.iter(|| {
+                run_fleet_with(
+                    black_box(&base),
+                    64,
+                    &PoolConfig::with_workers(w),
+                    &mut NoProgress,
+                )
+                .expect("fleet runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet);
+criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! The §5 contribution study: remove one NV-exploiting technique at a
 //! time from the full NEOFog node and measure the in-fog impact.
 
-use neofog_bench::{banner, events_flag};
-use neofog_core::experiment::ablation;
+use neofog_bench::{banner, BenchArgs};
+use neofog_core::experiment::ablation_with;
 use neofog_core::report::render_table;
+use neofog_core::StderrTicker;
 use neofog_energy::Scenario;
 
 fn main() -> neofog_types::Result<()> {
@@ -11,7 +12,8 @@ fn main() -> neofog_types::Result<()> {
         "Technique ablation",
         "§5: 'quantify the contributions due to individual techniques employed'",
     );
-    let mut events = events_flag();
+    let args = BenchArgs::parse_or_exit();
+    let mut events = args.events.clone();
     for (name, scenario) in [
         ("independent (forest)", Scenario::ForestIndependent),
         ("very low power (rainy mountain)", Scenario::MountainRainy),
@@ -20,7 +22,13 @@ fn main() -> neofog_types::Result<()> {
         // Only the first scenario logs events — a second pass would
         // overwrite the file.
         let log = events.take();
-        let rows_data = ablation(scenario, 2, log.as_deref())?;
+        let rows_data = ablation_with(
+            scenario,
+            args.seed.unwrap_or(2),
+            log.as_deref(),
+            &args.pool(),
+            &mut StderrTicker::new("ablation"),
+        )?;
         let full_fog = rows_data[0].fog.max(1);
         let rows: Vec<Vec<String>> = rows_data
             .iter()

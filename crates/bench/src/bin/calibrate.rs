@@ -1,10 +1,13 @@
 //! Internal calibration probe: prints the key evaluation numbers so
 //! simulator constants can be tuned against the paper's targets.
 
-use neofog_core::experiment::{average_row, figure10_11, multiplex_sweep};
+use neofog_bench::BenchArgs;
+use neofog_core::experiment::{average_row, figure10_11_with, multiplex_sweep_with};
+use neofog_core::{NoProgress, StderrTicker};
 use neofog_energy::Scenario;
 
 fn main() -> neofog_types::Result<()> {
+    let args = BenchArgs::parse_or_exit();
     let profiles: Vec<u64> = (1..=5).collect();
     for (name, scenario, targets) in [
         (
@@ -19,7 +22,13 @@ fn main() -> neofog_types::Result<()> {
         ),
     ] {
         println!("=== {name} ===  {targets}");
-        let rows = figure10_11(scenario, &profiles, None)?;
+        let rows = figure10_11_with(
+            scenario,
+            &profiles,
+            None,
+            &args.pool(),
+            &mut StderrTicker::new("calibrate"),
+        )?;
         let avg = average_row(&rows);
         for s in &avg {
             println!(
@@ -53,7 +62,14 @@ fn main() -> neofog_types::Result<()> {
         ),
     ] {
         println!("=== {name} ===  {note}");
-        let (points, vp) = multiplex_sweep(sc, &[1, 2, 3, 4, 5], 3, None)?;
+        let (points, vp) = multiplex_sweep_with(
+            sc,
+            &[1, 2, 3, 4, 5],
+            args.seed.unwrap_or(3),
+            None,
+            &args.pool(),
+            &mut NoProgress,
+        )?;
         println!("  VP reference: {vp}");
         for p in &points {
             println!(

@@ -1,9 +1,10 @@
 //! Regenerates Figure 10: wakeups / cloud-processed / fog-processed
 //! packages for five dependent (bridge) power profiles.
 
-use neofog_bench::{banner, events_flag};
-use neofog_core::experiment::{average_row, figure10_11};
+use neofog_bench::{banner, BenchArgs};
+use neofog_core::experiment::{average_row, figure10_11_with};
 use neofog_core::report::render_table;
+use neofog_core::StderrTicker;
 use neofog_energy::Scenario;
 
 fn main() -> neofog_types::Result<()> {
@@ -11,11 +12,13 @@ fn main() -> neofog_types::Result<()> {
         "Figure 11 (dependent power)",
         "paper avg: VP 13886 wake / 2494 cloud; NVP 12859 / 3439 total (3126 fog); NEOFog 6990 total (6418 fog); ideal 15000",
     );
-    let events = events_flag();
-    let rows_data = figure10_11(
+    let args = BenchArgs::parse_or_exit();
+    let rows_data = figure10_11_with(
         Scenario::BridgeDependent,
         &[1, 2, 3, 4, 5],
-        events.as_deref(),
+        args.events.as_deref(),
+        &args.pool(),
+        &mut StderrTicker::new("fig11"),
     )?;
     let mut rows: Vec<Vec<String>> = Vec::new();
     for r in &rows_data {

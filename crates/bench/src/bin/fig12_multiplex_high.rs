@@ -2,9 +2,10 @@
 //! large-variance environment (sunny mountain) — gains are minimal
 //! because the in-fog processing rate is already high.
 
-use neofog_bench::{banner, events_flag};
-use neofog_core::experiment::multiplex_sweep;
+use neofog_bench::{banner, BenchArgs};
+use neofog_core::experiment::multiplex_sweep_with;
 use neofog_core::report::{render_bars, render_table};
+use neofog_core::StderrTicker;
 use neofog_energy::Scenario;
 
 fn main() -> neofog_types::Result<()> {
@@ -13,8 +14,15 @@ fn main() -> neofog_types::Result<()> {
         "paper: VP w/o LB ~5000; NVP edges ~9500; multiplexing adds little",
     );
     let factors = [1u32, 2, 3, 4, 5];
-    let events = events_flag();
-    let (points, vp) = multiplex_sweep(Scenario::MountainSunny, &factors, 3, events.as_deref())?;
+    let args = BenchArgs::parse_or_exit();
+    let (points, vp) = multiplex_sweep_with(
+        Scenario::MountainSunny,
+        &factors,
+        args.seed.unwrap_or(3),
+        args.events.as_deref(),
+        &args.pool(),
+        &mut StderrTicker::new("fig12"),
+    )?;
     let mut rows = vec![vec![
         "VP w/o load balance".to_string(),
         "-".to_string(),

@@ -3,9 +3,10 @@
 //! clone substantially improves in-fog processing, saturating around
 //! 3x as successful sampling tops out near 8000.
 
-use neofog_bench::{banner, events_flag};
-use neofog_core::experiment::multiplex_sweep;
+use neofog_bench::{banner, BenchArgs};
+use neofog_core::experiment::multiplex_sweep_with;
 use neofog_core::report::{render_bars, render_table};
+use neofog_core::StderrTicker;
 use neofog_energy::Scenario;
 
 fn main() -> neofog_types::Result<()> {
@@ -14,8 +15,15 @@ fn main() -> neofog_types::Result<()> {
         "paper: VP ~725 in-fog; NEOFog 100% ~2800; ~2X at 300%; saturates (sampling ~8000)",
     );
     let factors = [1u32, 2, 3, 4, 5];
-    let events = events_flag();
-    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &factors, 3, events.as_deref())?;
+    let args = BenchArgs::parse_or_exit();
+    let (points, vp) = multiplex_sweep_with(
+        Scenario::MountainRainy,
+        &factors,
+        args.seed.unwrap_or(3),
+        args.events.as_deref(),
+        &args.pool(),
+        &mut StderrTicker::new("fig13"),
+    )?;
     let mut rows = vec![vec![
         "VP w/o load balance".to_string(),
         "-".to_string(),

@@ -6,7 +6,7 @@
 //! `<path>` as JSONL, so the per-slot phase sequence behind the
 //! timing figures can be inspected line by line.
 
-use neofog_bench::{banner, events_flag};
+use neofog_bench::{banner, BenchArgs};
 use neofog_core::report::render_table;
 use neofog_core::sim::{SimConfig, Simulator};
 use neofog_core::timeline::Timeline;
@@ -14,6 +14,7 @@ use neofog_core::SystemKind;
 use neofog_energy::Scenario;
 
 fn main() -> neofog_types::Result<()> {
+    let args = BenchArgs::parse_or_exit();
     banner(
         "Figures 1 & 4",
         "NOS-VP ~646 ms to first byte; NOS-NVP 36 ms; NEOFog radio work ~4 ms",
@@ -52,16 +53,19 @@ fn main() -> neofog_types::Result<()> {
         "stored-energy window shrinks {}x from NOS-VP to FIOS-NEOFog",
         vp.stored_energy_time().as_micros() / neo.stored_energy_time().as_micros().max(1)
     );
-    if let Some(path) = events_flag() {
-        let mut cfg =
-            SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
-        cfg.slots = 60;
+    if let Some(path) = args.events {
+        let slots = args.slots.unwrap_or(60);
+        let mut cfg = SimConfig::paper_default(
+            SystemKind::FiosNeoFog,
+            Scenario::ForestIndependent,
+            args.seed.unwrap_or(1),
+        );
+        cfg.slots = slots;
         cfg.events_path = Some(path.clone());
         let result = Simulator::new(cfg)?.run();
         println!(
-            "\nevent log: wrote {} slots of FIOS-NEOFog events to {path} \
+            "\nevent log: wrote {slots} slots of FIOS-NEOFog events to {path} \
              ({} packages captured)",
-            60,
             result.metrics.total_captured()
         );
     }

@@ -2,7 +2,7 @@
 //! chain — no balancing vs the baseline tree scheme vs the proposed
 //! distributed scheme, including the coordinator-failure case.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, BenchArgs};
 use neofog_core::balance::{
     ChainBalanceInput, DistributedBalancer, FogTask, LoadBalancer, NoBalancer, NodeBalanceState,
     TreeBalancer,
@@ -88,6 +88,7 @@ fn show(label: &str, balancer: &dyn LoadBalancer) {
 }
 
 fn main() {
+    let _args = BenchArgs::parse_or_exit();
     banner(
         "Figure 6",
         "distributed balance moves work to energy-rich neighbours; tree \

@@ -2,12 +2,13 @@
 //! QoS — hop counts inflate and end-to-end delivery suffers, while
 //! NVD4Q keeps the logical topology (and hop count) fixed.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, BenchArgs};
 use neofog_core::report::render_table;
 use neofog_net::ChainMesh;
 use neofog_rf::LossModel;
 
 fn main() {
+    let _args = BenchArgs::parse_or_exit();
     banner(
         "Figure 7",
         "10 nodes: 9 jumps; naive 4x densification: ~25 jumps; NVD4Q: still 9",

@@ -1,9 +1,10 @@
 //! Regenerates Figure 9: stored energy level of three consecutive
 //! chain nodes under the three systems over a 5-hour daytime window.
 
-use neofog_bench::{banner, events_flag};
-use neofog_core::experiment::figure9;
+use neofog_bench::{banner, BenchArgs};
+use neofog_core::experiment::figure9_with;
 use neofog_core::report::downsample;
+use neofog_core::StderrTicker;
 
 fn main() -> neofog_types::Result<()> {
     banner(
@@ -12,8 +13,13 @@ fn main() -> neofog_types::Result<()> {
          spend surplus on); balanced NVP systems run the store down by \
          doing fog work",
     );
-    let events = events_flag();
-    let results = figure9(1, events.as_deref())?;
+    let args = BenchArgs::parse_or_exit();
+    let results = figure9_with(
+        args.seed.unwrap_or(1),
+        args.events.as_deref(),
+        &args.pool(),
+        &mut StderrTicker::new("fig9"),
+    )?;
     for node in 0..3 {
         println!("--- Node {} (stored energy, mJ, 0..300 min) ---", node + 1);
         for (label, metrics) in &results {

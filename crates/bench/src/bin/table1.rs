@@ -1,11 +1,12 @@
 //! Regenerates Table 1: functionality and components of current
 //! energy-harvesting WSN systems.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, BenchArgs};
 use neofog_core::report::render_table;
 use neofog_core::table1::deployed_systems;
 
 fn main() {
+    let _args = BenchArgs::parse_or_exit();
     banner(
         "Table 1",
         "catalog of deployed EH-WSN systems; all transmit raw data",

@@ -5,11 +5,12 @@
 //! model (2.508 nJ/instruction, 2851.2 nJ/byte on air, 64 KiB buffer)
 //! and reproduces the paper's numbers to the printed precision.
 
-use neofog_bench::banner;
+use neofog_bench::{banner, BenchArgs};
 use neofog_core::report::{percent, render_table};
 use neofog_workloads::App;
 
 fn main() {
+    let _args = BenchArgs::parse_or_exit();
     banner(
         "Table 2",
         "naive vs buffered strategy energy; savings -24.1% .. -57.1%",

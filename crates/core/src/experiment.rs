@@ -1,9 +1,19 @@
 //! Ready-made experiment configurations for every table and figure of
-//! the paper's evaluation (§5), plus a parallel runner.
+//! the paper's evaluation (§5).
+//!
+//! Batch execution itself lives in [`crate::runner`]: every helper
+//! here builds its configuration list and hands it to the
+//! work-stealing pool, collecting full results through the
+//! order-preserving [`CollectAll`] reducer. Each helper has a `_with`
+//! variant taking an explicit [`PoolConfig`] and [`Progress`] observer
+//! (the figure binaries wire `--workers` and a stderr ticker through
+//! these); the plain variants default to every available core and no
+//! progress output.
 
 use crate::metrics::NetworkMetrics;
 use crate::node::SystemKind;
-use crate::sim::{SimConfig, SimResult, Simulator};
+use crate::runner::{run_batch, CollectAll, NoProgress, PoolConfig, Progress};
+use crate::sim::{SimConfig, SimResult};
 use neofog_energy::Scenario;
 use neofog_types::{NeoFogError, Result};
 use serde::{Deserialize, Serialize};
@@ -47,50 +57,36 @@ pub struct ProfileRow {
     pub systems: Vec<SystemSummary>,
 }
 
-/// Runs a batch of simulations in parallel (one thread each, capped by
-/// available parallelism).
+/// Runs a batch of simulations on the work-stealing pool, keeping
+/// every full result in input order.
+///
+/// This is a thin wrapper over [`run_batch`] with the [`CollectAll`]
+/// reducer, default pool sizing (every available core) and no progress
+/// output — see [`run_many_with`] to control either, and prefer a
+/// summarizing reducer (like the fleet's) when the batch is large and
+/// the full results are not needed.
 ///
 /// # Errors
 ///
 /// Returns [`NeoFogError::Internal`] if a simulation worker thread
 /// panics or a result goes missing, and propagates any
-/// [`Simulator::new`] configuration error.
-pub fn run_many(configs: Vec<SimConfig>) -> Result<Vec<SimResult>> {
-    let workers = std::thread::available_parallelism()
-        .map_or(4, std::num::NonZero::get)
-        .min(16);
-    let expected = configs.len();
-    let jobs: Vec<(usize, SimConfig)> = configs.into_iter().enumerate().collect();
-    let chunks: Vec<Vec<(usize, SimConfig)>> = jobs
-        .chunks((jobs.len().max(1)).div_ceil(workers))
-        .map(<[(usize, SimConfig)]>::to_vec)
-        .collect();
-    let mut out: Vec<(usize, SimResult)> = Vec::with_capacity(expected);
-    std::thread::scope(|scope| -> Result<()> {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(i, cfg)| Simulator::new(cfg).map(|sim| (i, sim.run())))
-                        .collect::<Result<Vec<_>>>()
-                })
-            })
-            .collect();
-        for h in handles {
-            out.extend(
-                h.join()
-                    .map_err(|_| NeoFogError::internal("simulation worker thread panicked"))??,
-            );
-        }
-        Ok(())
-    })?;
-    out.sort_unstable_by_key(|&(i, _)| i);
-    if out.len() != expected || out.iter().enumerate().any(|(k, &(i, _))| k != i) {
-        return Err(NeoFogError::internal("simulation batch lost a result"));
-    }
-    Ok(out.into_iter().map(|(_, r)| r).collect())
+/// [`crate::sim::Simulator::new`] configuration error (cancelling the
+/// rest of the batch).
+pub fn run_many(configs: &[SimConfig]) -> Result<Vec<SimResult>> {
+    run_many_with(configs, &PoolConfig::default(), &mut NoProgress)
+}
+
+/// [`run_many`] with explicit pool sizing and a progress observer.
+///
+/// # Errors
+///
+/// Same as [`run_many`].
+pub fn run_many_with(
+    configs: &[SimConfig],
+    pool: &PoolConfig,
+    progress: &mut dyn Progress,
+) -> Result<Vec<SimResult>> {
+    run_batch(configs, CollectAll::default(), pool, progress)
 }
 
 /// Points the first configuration of a batch at a JSONL event log
@@ -115,6 +111,27 @@ pub fn figure10_11(
     profiles: &[u64],
     events: Option<&str>,
 ) -> Result<Vec<ProfileRow>> {
+    figure10_11_with(
+        scenario,
+        profiles,
+        events,
+        &PoolConfig::default(),
+        &mut NoProgress,
+    )
+}
+
+/// [`figure10_11`] with explicit pool sizing and a progress observer.
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn figure10_11_with(
+    scenario: Scenario,
+    profiles: &[u64],
+    events: Option<&str>,
+    pool: &PoolConfig,
+    progress: &mut dyn Progress,
+) -> Result<Vec<ProfileRow>> {
     let mut configs: Vec<SimConfig> = profiles
         .iter()
         .flat_map(|&p| {
@@ -124,7 +141,7 @@ pub fn figure10_11(
         })
         .collect();
     log_first_run(&mut configs, events);
-    let results = run_many(configs)?;
+    let results = run_many_with(&configs, pool, progress)?;
     Ok(profiles
         .iter()
         .enumerate()
@@ -169,6 +186,20 @@ pub fn average_row(rows: &[ProfileRow]) -> Vec<SystemSummary> {
 ///
 /// Propagates [`run_many`] failures.
 pub fn figure9(seed: u64, events: Option<&str>) -> Result<Vec<(&'static str, NetworkMetrics)>> {
+    figure9_with(seed, events, &PoolConfig::default(), &mut NoProgress)
+}
+
+/// [`figure9`] with explicit pool sizing and a progress observer.
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn figure9_with(
+    seed: u64,
+    events: Option<&str>,
+    pool: &PoolConfig,
+    progress: &mut dyn Progress,
+) -> Result<Vec<(&'static str, NetworkMetrics)>> {
     use crate::sim::BalancerKind;
     let variants = [
         ("VP w/o load balance", SystemKind::NosVp, BalancerKind::None),
@@ -194,7 +225,7 @@ pub fn figure9(seed: u64, events: Option<&str>) -> Result<Vec<(&'static str, Net
         })
         .collect();
     log_first_run(&mut configs, events);
-    Ok(run_many(configs)?
+    Ok(run_many_with(&configs, pool, progress)?
         .into_iter()
         .zip(variants)
         .map(|(r, (label, _, _))| (label, r.metrics))
@@ -228,6 +259,30 @@ pub fn multiplex_sweep(
     seed: u64,
     events: Option<&str>,
 ) -> Result<(Vec<MultiplexPoint>, u64)> {
+    multiplex_sweep_with(
+        scenario,
+        factors,
+        seed,
+        events,
+        &PoolConfig::default(),
+        &mut NoProgress,
+    )
+}
+
+/// [`multiplex_sweep`] with explicit pool sizing and a progress
+/// observer.
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn multiplex_sweep_with(
+    scenario: Scenario,
+    factors: &[u32],
+    seed: u64,
+    events: Option<&str>,
+    pool: &PoolConfig,
+    progress: &mut dyn Progress,
+) -> Result<(Vec<MultiplexPoint>, u64)> {
     let mut configs: Vec<SimConfig> = factors
         .iter()
         .map(|&f| {
@@ -238,7 +293,7 @@ pub fn multiplex_sweep(
         .collect();
     configs.push(SimConfig::paper_default(SystemKind::NosVp, scenario, seed));
     log_first_run(&mut configs, events);
-    let mut results = run_many(configs)?;
+    let mut results = run_many_with(&configs, pool, progress)?;
     let vp = results
         .pop()
         .ok_or_else(|| NeoFogError::internal("multiplex sweep lost its VP reference run"))?;
@@ -289,6 +344,27 @@ pub struct AblationRow {
 ///
 /// Propagates [`run_many`] failures.
 pub fn ablation(scenario: Scenario, seed: u64, events: Option<&str>) -> Result<Vec<AblationRow>> {
+    ablation_with(
+        scenario,
+        seed,
+        events,
+        &PoolConfig::default(),
+        &mut NoProgress,
+    )
+}
+
+/// [`ablation`] with explicit pool sizing and a progress observer.
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn ablation_with(
+    scenario: Scenario,
+    seed: u64,
+    events: Option<&str>,
+    pool: &PoolConfig,
+    progress: &mut dyn Progress,
+) -> Result<Vec<AblationRow>> {
     use crate::node::RadioControl;
     use crate::sim::BalancerKind;
     use neofog_energy::FrontEnd;
@@ -328,7 +404,7 @@ pub fn ablation(scenario: Scenario, seed: u64, events: Option<&str>) -> Result<V
     let labels: Vec<String> = variants.iter().map(|(l, _)| l.clone()).collect();
     let mut configs: Vec<SimConfig> = variants.into_iter().map(|(_, c)| c).collect();
     log_first_run(&mut configs, events);
-    Ok(run_many(configs)?
+    Ok(run_many_with(&configs, pool, progress)?
         .into_iter()
         .zip(labels)
         .map(|(r, label)| AblationRow {
@@ -345,7 +421,21 @@ pub fn ablation(scenario: Scenario, seed: u64, events: Option<&str>) -> Result<V
 ///
 /// Propagates [`run_many`] failures.
 pub fn headline(seed: u64) -> Result<Headline> {
-    let (points, vp) = multiplex_sweep(Scenario::MountainRainy, &[1, 3], seed, None)?;
+    headline_with(seed, &PoolConfig::default(), &mut NoProgress)
+}
+
+/// [`headline`] with explicit pool sizing and a progress observer.
+///
+/// # Errors
+///
+/// Propagates [`run_many`] failures.
+pub fn headline_with(
+    seed: u64,
+    pool: &PoolConfig,
+    progress: &mut dyn Progress,
+) -> Result<Headline> {
+    let (points, vp) =
+        multiplex_sweep_with(Scenario::MountainRainy, &[1, 3], seed, None, pool, progress)?;
     let vp = vp.max(1) as f64;
     let [one, three] = points.as_slice() else {
         return Err(NeoFogError::internal(
@@ -361,6 +451,7 @@ pub fn headline(seed: u64) -> Result<Headline> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sim::Simulator;
 
     fn shrink(cfg: &mut SimConfig) {
         cfg.slots = 120;
@@ -373,7 +464,7 @@ mod tests {
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
         shrink(&mut a);
         shrink(&mut b);
-        let results = run_many(vec![a, b]).expect("batch runs");
+        let results = run_many(&[a, b]).expect("batch runs");
         assert_eq!(results[0].config.system, SystemKind::NosVp);
         assert_eq!(results[1].config.system, SystemKind::FiosNeoFog);
     }
@@ -384,7 +475,7 @@ mod tests {
             SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 7);
         shrink(&mut cfg);
         let serial = Simulator::new(cfg.clone()).expect("config is valid").run();
-        let parallel = run_many(vec![cfg]).expect("batch runs").remove(0);
+        let parallel = run_many(&[cfg.clone()]).expect("batch runs").remove(0);
         assert_eq!(serial.metrics, parallel.metrics);
     }
 

@@ -7,14 +7,21 @@
 //! information is shown as the presented example in the paper for
 //! simplicity."
 //!
-//! [`run_fleet`] simulates many independent chains in parallel (each
-//! chain seeded differently, exactly like the paper's per-node power
-//! inputs) and aggregates the distribution of per-chain outcomes, so
-//! the 10-node figures can be read as one draw from a characterized
-//! population.
+//! [`run_fleet`] simulates many independent chains on the
+//! work-stealing pool (each chain seeded differently, exactly like the
+//! paper's per-node power inputs) and aggregates the distribution of
+//! per-chain outcomes, so the 10-node figures can be read as one draw
+//! from a characterized population.
+//!
+//! Aggregation streams: every chain's [`SimResult`] is reduced to a
+//! [`ChainSummary`] — three `u64` counters, 24 bytes — on the worker
+//! thread that simulated it and dropped immediately, so the peak
+//! memory of a 100 000-chain fleet is `O(chains × 24 bytes)` plus one
+//! in-flight result per worker, independent of how heavy the per-node
+//! metrics (or a `trace_stored` series) are.
 
-use crate::experiment::run_many;
-use crate::sim::SimConfig;
+use crate::runner::{run_batch, NoProgress, PoolConfig, Progress, Reduce};
+use crate::sim::{SimConfig, SimResult};
 use neofog_types::{NeoFogError, Result};
 use serde::{Deserialize, Serialize};
 
@@ -23,6 +30,9 @@ use serde::{Deserialize, Serialize};
 pub struct FleetStat {
     /// Mean across chains.
     pub mean: f64,
+    /// Population standard deviation across chains (σ, dividing by
+    /// `n` — the fleet *is* the population, not a sample of one).
+    pub std_dev: f64,
     /// Minimum.
     pub min: f64,
     /// 10th percentile.
@@ -37,6 +47,19 @@ pub struct FleetStat {
 
 impl FleetStat {
     /// Computes statistics from raw per-chain values.
+    ///
+    /// # Percentile convention
+    ///
+    /// Percentiles use the **nearest-rank** method on the ascending
+    /// sort: percentile `q` is the element at index
+    /// `round(q × (n − 1))` (half-away-from-zero rounding, the `f64`
+    /// default). No interpolation is performed — every reported
+    /// percentile is a value that actually occurred. Consequences at
+    /// the boundaries:
+    ///
+    /// * `n = 1`: every percentile equals the single value.
+    /// * `n = 2`: `p10` is the smaller element (`round(0.1) = 0`);
+    ///   `p50` and `p90` are the larger (`round(0.5) = round(0.9) = 1`).
     ///
     /// # Errors
     ///
@@ -54,8 +77,12 @@ impl FleetStat {
             let idx = (q * (sorted.len() - 1) as f64).round() as usize;
             sorted[idx]
         };
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let variance =
+            sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / sorted.len() as f64;
         Ok(FleetStat {
-            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            mean,
+            std_dev: variance.sqrt(),
             min: sorted[0],
             p10: pct(0.10),
             p50: pct(0.50),
@@ -82,13 +109,77 @@ pub struct FleetResult {
     pub fog_sum: u64,
 }
 
+/// The scalars a fleet keeps per chain: 24 bytes, however large the
+/// chain's full [`SimResult`] was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainSummary {
+    /// Packages processed in-fog.
+    pub fog: u64,
+    /// Total packages processed.
+    pub total: u64,
+    /// Samples captured.
+    pub captured: u64,
+}
+
+impl ChainSummary {
+    /// Extracts the fleet-relevant counters from one chain's result.
+    #[must_use]
+    pub fn of(result: &SimResult) -> Self {
+        ChainSummary {
+            fog: result.metrics.fog_processed(),
+            total: result.metrics.total_processed(),
+            captured: result.metrics.total_captured(),
+        }
+    }
+}
+
+/// The streaming reducer behind [`run_fleet`]: folds each chain's
+/// [`ChainSummary`] into three per-chain value vectors (for the
+/// [`FleetStat`] percentiles) and a running network-wide sum.
+///
+/// Because [`Reduce::map`] runs on the worker thread, the full
+/// [`SimResult`] never reaches the aggregation side: steady-state
+/// memory is the three `f64` vectors — 24 bytes per chain.
+#[derive(Debug, Default)]
+pub struct FleetReducer {
+    fog: Vec<f64>,
+    total: Vec<f64>,
+    captured: Vec<f64>,
+    fog_sum: u64,
+}
+
+impl Reduce for FleetReducer {
+    type Item = ChainSummary;
+    type Output = FleetReducer;
+
+    fn map(result: SimResult) -> ChainSummary {
+        ChainSummary::of(&result)
+    }
+
+    fn fold(&mut self, _index: usize, chain: ChainSummary) {
+        // Folds arrive in chain order, so these vectors line up with
+        // the pre-runner serial collection exactly.
+        self.fog.push(chain.fog as f64);
+        self.total.push(chain.total as f64);
+        self.captured.push(chain.captured as f64);
+        self.fog_sum += chain.fog;
+    }
+
+    fn finish(self) -> FleetReducer {
+        self
+    }
+}
+
 /// Runs `chains` independent copies of `base` (seeded `base.seed`,
-/// `base.seed + 1`, …) in parallel and aggregates.
+/// `base.seed + 1`, …) on the work-stealing pool and aggregates.
+///
+/// Uses default pool sizing (every available core) and no progress
+/// output; see [`run_fleet_with`] to control either.
 ///
 /// # Errors
 ///
 /// Returns [`NeoFogError::InvalidConfig`] if `chains` is zero and
-/// propagates [`run_many`] failures.
+/// propagates [`crate::runner::run_batch`] failures.
 ///
 /// # Examples
 ///
@@ -109,6 +200,20 @@ pub struct FleetResult {
 /// assert!(fleet.fog.p90 >= fleet.fog.p10);
 /// ```
 pub fn run_fleet(base: &SimConfig, chains: usize) -> Result<FleetResult> {
+    run_fleet_with(base, chains, &PoolConfig::default(), &mut NoProgress)
+}
+
+/// [`run_fleet`] with explicit pool sizing and a progress observer.
+///
+/// # Errors
+///
+/// Same as [`run_fleet`].
+pub fn run_fleet_with(
+    base: &SimConfig,
+    chains: usize,
+    pool: &PoolConfig,
+    progress: &mut dyn Progress,
+) -> Result<FleetResult> {
     if chains == 0 {
         return Err(NeoFogError::invalid_config("at least one chain required"));
     }
@@ -119,26 +224,14 @@ pub fn run_fleet(base: &SimConfig, chains: usize) -> Result<FleetResult> {
             cfg
         })
         .collect();
-    let results = run_many(configs)?;
-    let fog: Vec<f64> = results
-        .iter()
-        .map(|r| r.metrics.fog_processed() as f64)
-        .collect();
-    let total: Vec<f64> = results
-        .iter()
-        .map(|r| r.metrics.total_processed() as f64)
-        .collect();
-    let captured: Vec<f64> = results
-        .iter()
-        .map(|r| r.metrics.total_captured() as f64)
-        .collect();
+    let tallies = run_batch(&configs, FleetReducer::default(), pool, progress)?;
     Ok(FleetResult {
         chains,
         nodes: chains * base.positions * base.multiplex as usize,
-        fog: FleetStat::from_values(&fog)?,
-        total: FleetStat::from_values(&total)?,
-        captured: FleetStat::from_values(&captured)?,
-        fog_sum: results.iter().map(|r| r.metrics.fog_processed()).sum(),
+        fog: FleetStat::from_values(&tallies.fog)?,
+        total: FleetStat::from_values(&tallies.total)?,
+        captured: FleetStat::from_values(&tallies.captured)?,
+        fog_sum: tallies.fog_sum,
     })
 }
 
@@ -163,6 +256,8 @@ mod tests {
         assert_eq!(s.p50, 5.0);
         assert!(s.p10 <= s.p50 && s.p50 <= s.p90);
         assert!((s.mean - 5.0).abs() < 1e-12);
+        // Population σ of {1,3,5,7,9}: √8.
+        assert!((s.std_dev - 8.0f64.sqrt()).abs() < 1e-12);
     }
 
     #[test]
@@ -171,6 +266,31 @@ mod tests {
             FleetStat::from_values(&[]),
             Err(NeoFogError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn one_element_population_is_degenerate() {
+        let s = FleetStat::from_values(&[4.25]).expect("non-empty");
+        assert_eq!(
+            (s.mean, s.min, s.p10, s.p50, s.p90, s.max),
+            (4.25, 4.25, 4.25, 4.25, 4.25, 4.25)
+        );
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn two_element_population_follows_nearest_rank() {
+        // Nearest rank with n = 2: p10 → index round(0.1) = 0, p50 and
+        // p90 → index round(0.5) = round(0.9) = 1.
+        let s = FleetStat::from_values(&[10.0, 2.0]).expect("non-empty");
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.p10, 2.0);
+        assert_eq!(s.p50, 10.0);
+        assert_eq!(s.p90, 10.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.mean, 6.0);
+        // Population σ of {2, 10} is 4.
+        assert_eq!(s.std_dev, 4.0);
     }
 
     #[test]

@@ -17,9 +17,13 @@
 //!   NVRF state sharing.
 //! * [`sim`] — the slot-driven WSN system simulator, structured as a
 //!   six-phase pipeline emitting typed [`sim::SimEvent`]s to pluggable
-//!   observers, and [`fleet`] — the parallel many-chain harness behind
-//!   the paper's "our simulator runs thousands of single-node
+//!   observers, and [`fleet`] — the streaming many-chain harness
+//!   behind the paper's "our simulator runs thousands of single-node
 //!   simulators simultaneously".
+//! * [`runner`] — batch execution: the work-stealing job pool, the
+//!   [`runner::Reduce`] streaming-aggregation trait and the
+//!   [`runner::Progress`] observer hook every experiment/fleet entry
+//!   point runs on.
 //! * [`metrics`] — wakeups / packets captured / cloud-processed /
 //!   fog-processed accounting, plus stored-energy traces (Figure 9).
 //! * [`experiment`] — ready-made configurations for every table and
@@ -37,6 +41,7 @@ pub mod metrics;
 pub mod node;
 pub mod nvd4q;
 pub mod report;
+pub mod runner;
 pub mod sim;
 pub mod table1;
 pub mod timeline;
@@ -48,6 +53,7 @@ pub use balance::{
 pub use metrics::{NetworkMetrics, NodeMetrics};
 pub use node::{NodeConfig, PackageSpec, SystemKind};
 pub use nvd4q::{CloneSet, VirtualizationManager};
+pub use runner::{run_batch, CollectAll, NoProgress, PoolConfig, Progress, Reduce, StderrTicker};
 pub use sim::{
     BalancerKind, EventLogObserver, LedgerObserver, MetricsObserver, Observers, RadioPurpose,
     ShedReason, SimConfig, SimEvent, SimObserver, SimResult, Simulator, StoredTraceObserver,

@@ -1,0 +1,12 @@
+//! Runner-scope fixture: one violation per line, in rule-id order,
+//! proving the determinism and panic rules all fire on code under
+//! `crates/core/src/runner/`.
+
+pub fn racy_pool(configs: &[u64]) -> u64 {
+    let started = std::time::Instant::now();
+    let cache = std::collections::HashMap::new();
+    let jitter = thread_rng().next_u32() as u64;
+    let head = configs.first().unwrap() + jitter;
+    panic!("worker fixture gave up");
+    head + configs[1]
+}

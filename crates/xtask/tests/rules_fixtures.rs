@@ -179,3 +179,33 @@ fn library_rules_skip_test_trees_entirely() {
     );
     assert!(hits.is_empty(), "integration tests may panic: {hits:?}");
 }
+
+#[test]
+fn runner_sources_are_fully_in_scope() {
+    // The work-stealing pool is exactly where a stray wall clock,
+    // hash map or unwrap would break batch determinism, so every
+    // determinism and panic rule must cover crates/core/src/runner/.
+    let expected = vec![
+        "NF-DET-001",
+        "NF-DET-002",
+        "NF-DET-003",
+        "NF-PANIC-001",
+        "NF-PANIC-002",
+        "NF-PANIC-003",
+    ];
+    for path in [
+        "crates/core/src/runner/pool.rs",
+        "crates/core/src/runner/reduce.rs",
+        "crates/core/src/runner/progress.rs",
+    ] {
+        let hits = ids(path, include_str!("fixtures/runner.rs"));
+        assert_eq!(hits, expected, "one violation per line at {path}");
+    }
+    // The same source is quiet in a test tree: the scope is the
+    // runner's library code, not everything mentioning it.
+    let hits = ids(
+        "crates/core/tests/fixture.rs",
+        include_str!("fixtures/runner.rs"),
+    );
+    assert!(hits.is_empty(), "test trees stay exempt: {hits:?}");
+}

@@ -1,0 +1,97 @@
+//! Fleet-scale statistics on the streaming runner: run many seeded
+//! copies of one chain, aggregate while simulating, and never hold
+//! more than ~24 bytes per chain.
+//!
+//! Shows both aggregation styles:
+//!
+//! * the built-in fleet reducer (`run_fleet_with`), which reports the
+//!   per-chain outcome distribution, and
+//! * a custom [`Reduce`] implementation fed straight to `run_batch` —
+//!   here a histogram of in-fog package counts, folded on the fly.
+//!
+//! ```sh
+//! cargo run --release --example fleet_stats
+//! ```
+
+use neofog::core::fleet::run_fleet_with;
+use neofog::prelude::*;
+
+/// Buckets chains by in-fog package count, `width` packages per
+/// bucket. `map` runs on the worker thread, so each chain's full
+/// result is dropped there — only a `u64` reaches the fold.
+struct FogHistogram {
+    width: u64,
+    buckets: Vec<usize>,
+}
+
+impl Reduce for FogHistogram {
+    type Item = u64;
+    type Output = FogHistogram;
+
+    fn map(result: SimResult) -> u64 {
+        result.metrics.fog_processed()
+    }
+
+    fn fold(&mut self, _index: usize, fog: u64) {
+        let bucket = (fog / self.width) as usize;
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+    }
+
+    fn finish(self) -> FogHistogram {
+        self
+    }
+}
+
+fn main() -> neofog::types::Result<()> {
+    let chains = 64;
+    let mut base = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+    base.slots = 150; // 30 simulated minutes per chain
+
+    println!("NEOFog fleet statistics: {chains} seeded copies of a 10-node chain\n");
+
+    // Built-in fleet aggregation: distribution of per-chain outcomes.
+    // The ticker prints coarse progress to stderr while workers run.
+    let fleet = run_fleet_with(
+        &base,
+        chains,
+        &PoolConfig::default(),
+        &mut StderrTicker::new("fleet"),
+    )?;
+    println!(
+        "in-fog packages per chain: mean {:.1} ± {:.1}, p10 {:.0}, median {:.0}, p90 {:.0}",
+        fleet.fog.mean, fleet.fog.std_dev, fleet.fog.p10, fleet.fog.p50, fleet.fog.p90
+    );
+    println!("network-wide in-fog packages: {}\n", fleet.fog_sum);
+
+    // Custom reducer: same fleet, histogram aggregation. Results fold
+    // in chain order at any worker count, so this output is stable.
+    let configs: Vec<SimConfig> = (0..chains)
+        .map(|k| {
+            let mut cfg = base.clone();
+            cfg.seed = base.seed.wrapping_add(k as u64);
+            cfg
+        })
+        .collect();
+    let hist = run_batch(
+        &configs,
+        FogHistogram {
+            width: 25,
+            buckets: Vec::new(),
+        },
+        &PoolConfig::default(),
+        &mut NoProgress,
+    )?;
+    println!("histogram of in-fog packages per chain (bucket = 25 packages):");
+    for (i, count) in hist.buckets.iter().enumerate().filter(|(_, c)| **c > 0) {
+        println!(
+            "  {:>4}..{:<4} {:24} {count}",
+            i as u64 * hist.width,
+            (i as u64 + 1) * hist.width,
+            "#".repeat(*count),
+        );
+    }
+    Ok(())
+}

@@ -5,20 +5,28 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use neofog::core::experiment::run_many;
 use neofog::core::report::render_table;
 use neofog::prelude::*;
 
 fn main() {
     println!("NEOFog quickstart: 10-node chain, forest power traces, 1 hour\n");
 
+    // One config per system design; run_many spreads the batch over
+    // the work-stealing pool and returns results in input order.
+    let configs: Vec<SimConfig> = SystemKind::ALL
+        .iter()
+        .map(|&system| {
+            let mut cfg = SimConfig::paper_default(system, Scenario::ForestIndependent, 42);
+            cfg.slots = 300; // 300 x 12 s = 1 hour
+            cfg
+        })
+        .collect();
     let mut rows = Vec::new();
-    for system in SystemKind::ALL {
-        let mut cfg = SimConfig::paper_default(system, Scenario::ForestIndependent, 42);
-        cfg.slots = 300; // 300 x 12 s = 1 hour
-        let result = Simulator::new(cfg).expect("valid config").run();
+    for result in run_many(&configs).expect("batch runs") {
         let m = &result.metrics;
         rows.push(vec![
-            system.label().to_string(),
+            result.config.system.label().to_string(),
             m.total_wakeups().to_string(),
             m.total_captured().to_string(),
             m.cloud_processed().to_string(),

@@ -50,7 +50,10 @@ pub mod prelude {
     pub use neofog_core::sim::{
         BalancerKind, SimConfig, SimEvent, SimObserver, SimResult, Simulator,
     };
-    pub use neofog_core::{NodeConfig, PackageSpec, SystemKind};
+    pub use neofog_core::{
+        run_batch, CollectAll, NoProgress, NodeConfig, PackageSpec, PoolConfig, Progress, Reduce,
+        StderrTicker, SystemKind,
+    };
     pub use neofog_energy::{PowerTrace, Scenario, SuperCap, TraceGenerator};
     pub use neofog_nvp::{NvBuffer, Processor, ProcessorKind};
     pub use neofog_rf::{NvRf, RadioModel, RfConfig, SoftwareRf};
