@@ -1,0 +1,41 @@
+//! Simulator construction cost: `Simulator::new` synthesizes every
+//! node's power trace and prefix-sums it into an [`EnergyCurve`].
+//!
+//! The interesting comparison is dependent vs independent scenarios:
+//! before the shared-base chain plan, dependent construction re-walked
+//! the base weather curve once *per node* (≈3-4× the independent
+//! cost); with the plan it is synthesized once, so the two families
+//! should land within a small factor of each other. The absolute cost
+//! also prices the curve prefix-sum the refactor moved out of the
+//! per-slot harvest phase.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use neofog_core::sim::{SimConfig, Simulator};
+use neofog_core::SystemKind;
+use neofog_energy::Scenario;
+use std::hint::black_box;
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_build");
+    group.sample_size(10);
+    let scenarios = [
+        ("forest", Scenario::ForestIndependent),
+        ("bridge", Scenario::BridgeDependent),
+        ("sunny", Scenario::MountainSunny),
+        ("rainy", Scenario::MountainRainy),
+    ];
+    for (name, scenario) in scenarios {
+        for multiplex in [1u32, 3] {
+            let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, scenario, 1);
+            cfg.multiplex = multiplex;
+            let id = BenchmarkId::new(name, format!("x{multiplex}"));
+            group.bench_with_input(id, &cfg, |b, cfg| {
+                b.iter(|| Simulator::new(black_box(cfg.clone())).expect("valid config"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -9,7 +9,7 @@
 //! with energy ships them raw to the cloud, otherwise "the sampled
 //! data are discarded" (§5.1).
 
-use super::ctx::{Package, SlotCtx};
+use super::ctx::SlotCtx;
 use super::event::{ShedReason, SimEvent};
 use super::Simulator;
 use neofog_types::Power;
@@ -89,17 +89,26 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     // raw to the cloud; otherwise "the sampled data are discarded"
     // (§5.1).
     let stale_after = 20;
+    let slot = ctx.slot;
     for i in 0..parts.nodes.len() {
         let node = &mut parts.nodes[i];
         let fog_len = node.cfg.package.fog_instructions;
         // Packages with execution progress are never shed — killing
         // a half-finished head would waste the energy already sunk.
-        let (stale, keep): (Vec<Package>, Vec<Package>) = node.pending.drain(..).partition(|p| {
-            p.fog_remaining == fog_len && ctx.slot.saturating_sub(p.created) > stale_after
+        // Partition through the package scratch (retain keeps order,
+        // like the drain/partition it replaces, without allocating).
+        let stale = &mut ctx.pkg_scratch;
+        stale.clear();
+        node.pending.retain(|p| {
+            let is_stale =
+                p.fog_remaining == fog_len && slot.saturating_sub(p.created) > stale_after;
+            if is_stale {
+                stale.push(*p);
+            }
+            !is_stale
         });
-        node.pending = keep;
         if node.cap.fraction() > 0.6 {
-            node.outbox.extend(stale);
+            node.outbox.extend_from_slice(stale);
         } else if !stale.is_empty() {
             bus.emit(&SimEvent::PackageShed {
                 node: i,

@@ -1,15 +1,18 @@
 //! Shared per-slot state the phase functions operate on.
 //!
-//! A [`SlotCtx`] is opened at the top of every slot and threaded
-//! through the six phases in order; it owns everything whose lifetime
-//! is exactly one slot (energy budgets, wake flags, income powers,
-//! conservation ledgers), while the durable node state lives in
-//! [`NodeSim`] on the simulator.
+//! A [`SlotCtx`] is a reusable scratch struct owned by the simulator:
+//! it is [`reset`](SlotCtx::reset) at the top of every slot and
+//! threaded through the six phases in order. It owns everything whose
+//! *lifetime* is exactly one slot (energy budgets, wake flags, income
+//! powers, conservation ledgers), but its *allocations* persist for
+//! the whole run — `reset` clears and refills in place, so after the
+//! first slot the steady-state loop performs no heap allocation here.
+//! The durable node state lives in [`NodeSim`] on the simulator.
 
 use super::ledger::EnergyLedger;
 use crate::node::NodeConfig;
 use crate::sim::SimConfig;
-use neofog_energy::{PowerTrace, Rtc, SuperCap};
+use neofog_energy::{EnergyCurve, Rtc, SuperCap};
 use neofog_net::slots::SlotSchedule;
 use neofog_types::{Duration, Energy, Power, SimRng};
 use serde::{Deserialize, Serialize};
@@ -17,6 +20,13 @@ use serde::{Deserialize, Serialize};
 /// Maximum fog backlog a node admits (packages); the NV buffer sheds
 /// newer samples beyond this.
 pub(crate) const MAX_PENDING: usize = 8;
+
+/// Initial capacity for the per-node package queues and the package
+/// scratch. `pending` is hard-capped at [`MAX_PENDING`]; the outbox
+/// backlog tracks it closely (admission control throttles inflow to
+/// one capture per wake plus what fog processing releases), so 2× is
+/// enough that steady-state slots never regrow the queues.
+pub(crate) const QUEUE_RESERVE: usize = 2 * MAX_PENDING;
 
 /// One captured data package travelling through the system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -36,7 +46,9 @@ pub(crate) struct NodeSim {
     pub(crate) cfg: NodeConfig,
     pub(crate) cap: SuperCap,
     pub(crate) rtc: Rtc,
-    pub(crate) trace: PowerTrace,
+    /// Prefix-summed income curve: `energy_between` is O(1) per slot
+    /// instead of walking every trace sample the slot covers.
+    pub(crate) curve: EnergyCurve,
     pub(crate) schedule: SlotSchedule,
     /// Logical chain position this node implements.
     pub(crate) position: usize,
@@ -103,7 +115,9 @@ impl SlotBudget {
     }
 }
 
-/// Everything whose lifetime is exactly one slot.
+/// Everything whose lifetime is exactly one slot, with allocations
+/// that last the whole run (see the module docs).
+#[derive(Default)]
 pub(crate) struct SlotCtx {
     /// Slot index.
     pub(crate) slot: u64,
@@ -120,24 +134,48 @@ pub(crate) struct SlotCtx {
     /// One conservation ledger per node, opened against the stored
     /// level entering the slot and settled at slot end.
     pub(crate) ledgers: Vec<EnergyLedger>,
+    /// Transmit-phase scratch: forwarding airtime (bytes) accumulated
+    /// per logical position this slot.
+    pub(crate) forward_bytes: Vec<u64>,
+    /// General package scratch (transmit ordering, stale shedding);
+    /// every user clears it before use.
+    pub(crate) pkg_scratch: Vec<Package>,
 }
 
 impl SlotCtx {
-    /// Opens the context for `slot`, with one ledger per node.
-    pub(crate) fn open(cfg: &SimConfig, nodes: &[NodeSim], slot: u64) -> Self {
+    /// A scratch context whose vectors are pre-sized for `n_phys`
+    /// physical nodes and `n_pos` chain positions, so even the first
+    /// slots only fill — never grow — them.
+    pub(crate) fn warmed(n_phys: usize, n_pos: usize) -> Self {
+        let mut ctx = SlotCtx::default();
+        ctx.budgets.reserve(n_phys);
+        ctx.awake.reserve(n_phys);
+        ctx.income_power.reserve(n_phys);
+        ctx.ledgers.reserve(n_phys);
+        ctx.forward_bytes.reserve(n_pos);
+        ctx.pkg_scratch.reserve(QUEUE_RESERVE);
+        ctx
+    }
+
+    /// Resets the context for `slot`, opening one ledger per node.
+    /// Clears and refills every per-slot vector in place so their
+    /// capacity survives from slot to slot.
+    pub(crate) fn reset(&mut self, cfg: &SimConfig, nodes: &[NodeSim], slot: u64) {
         let t0 = Duration::from_micros(slot * cfg.slot_len.as_micros());
         let n_phys = nodes.len();
-        SlotCtx {
-            slot,
-            t0,
-            t1: t0 + cfg.slot_len,
-            budgets: Vec::with_capacity(n_phys),
-            awake: vec![false; n_phys],
-            income_power: vec![Power::ZERO; n_phys],
-            ledgers: nodes
-                .iter()
-                .map(|n| EnergyLedger::open(n.cap.stored()))
-                .collect(),
-        }
+        self.slot = slot;
+        self.t0 = t0;
+        self.t1 = t0 + cfg.slot_len;
+        self.budgets.clear();
+        self.budgets.reserve(n_phys);
+        self.awake.clear();
+        self.awake.resize(n_phys, false);
+        self.income_power.clear();
+        self.income_power.resize(n_phys, Power::ZERO);
+        self.ledgers.clear();
+        self.ledgers
+            .extend(nodes.iter().map(|n| EnergyLedger::open(n.cap.stored())));
+        self.forward_bytes.clear();
+        self.pkg_scratch.clear();
     }
 }

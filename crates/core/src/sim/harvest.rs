@@ -1,7 +1,9 @@
-//! Phase 1 — harvest: integrate each node's power trace into its slot
+//! Phase 1 — harvest: integrate each node's income curve into its slot
 //! energy budget.
 //!
-//! Per node: the ambient trace is integrated over the slot and scaled
+//! Per node: the ambient income is read off the node's prefix-summed
+//! [`EnergyCurve`](neofog_energy::EnergyCurve) — two O(1) lookups
+//! instead of a walk over every trace sample the slot covers — scaled
 //! by the harvester front-end; the RTC capacitor charges first
 //! (charging priority) and, if it lost synchronization, attempts a
 //! stored-energy resync; what remains builds the [`SlotBudget`]
@@ -20,7 +22,7 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     for i in 0..parts.nodes.len() {
         let node = &mut parts.nodes[i];
         let ledger = &mut ctx.ledgers[i];
-        let ambient = node.trace.energy_between(ctx.t0, ctx.t1);
+        let ambient = node.curve.energy_between(ctx.t0, ctx.t1);
         let mut income = ambient * node.cfg.harvester_efficiency;
         ledger.credit_harvest(income);
         ctx.income_power[i] =

@@ -9,11 +9,14 @@
 //!
 //! # The phase pipeline
 //!
-//! Every slot opens a [`SlotCtx`](ctx::SlotCtx) (budgets, wake flags,
-//! conservation ledgers) and runs six explicit phase functions over it,
+//! Every slot resets the simulator-owned scratch
+//! [`SlotCtx`](ctx::SlotCtx) (budgets, wake flags, conservation
+//! ledgers — cleared and refilled in place so the steady-state loop
+//! never allocates) and runs six explicit phase functions over it,
 //! in order — one module per phase:
 //!
-//! 1. [`harvest`] — each physical node integrates its power trace,
+//! 1. [`harvest`] — each physical node reads its prefix-summed income
+//!    curve over the slot (O(1) per node),
 //!    feeds the RTC capacitor first (charging priority), then builds
 //!    its slot energy budget through its front-end: FIOS nodes get a
 //!    90 %-efficient direct pool plus the capacitor; NOS nodes only
@@ -250,6 +253,9 @@ pub struct Simulator {
     /// Pluggable observers: debug ledger checks, the JSONL event log
     /// and anything attached via [`Simulator::attach_observer`].
     observers: Observers,
+    /// Reusable per-slot scratch: cleared and refilled every slot so
+    /// the steady-state loop allocates nothing after warm-up.
+    scratch: SlotCtx,
 }
 
 /// The simulation state a phase may read and mutate, split from the
@@ -276,9 +282,13 @@ impl Simulator {
     /// `events_path` cannot be created.
     pub fn new(cfg: SimConfig) -> Result<Self> {
         let physical = cfg.positions * cfg.multiplex as usize;
-        let mut gen = TraceGenerator::new(cfg.scenario, cfg.seed);
+        let gen = TraceGenerator::new(cfg.scenario, cfg.seed);
         let total_time = Duration::from_micros(cfg.slot_len.as_micros() * cfg.slots);
         let trace_dt = Duration::from_secs(1);
+        // One plan for the whole chain: dependent scenarios synthesize
+        // their shared base curve exactly once here, instead of once
+        // per physical node.
+        let plan = gen.chain_plan(physical, total_time, trace_dt);
         let mut rng = SimRng::seed_from(cfg.seed ^ 0x5EED);
         let mut nodes = Vec::with_capacity(physical);
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); cfg.positions];
@@ -291,9 +301,7 @@ impl Simulator {
                 } else {
                     SlotSchedule::new(cfg.multiplex, k)
                 };
-                let trace = gen
-                    .node_trace(idx as u64, total_time, trace_dt)
-                    .scaled(cfg.income_scale);
+                let curve = plan.node_curve(idx, cfg.income_scale);
                 let cap = SuperCap::new(cfg.node.cap_capacity)
                     .with_charge_efficiency(0.65)
                     .with_leak(cfg.node.cap_leak)
@@ -303,11 +311,11 @@ impl Simulator {
                     cfg: cfg.node,
                     cap,
                     rtc,
-                    trace,
+                    curve,
                     schedule,
                     position: p,
-                    pending: Vec::new(),
-                    outbox: Vec::new(),
+                    pending: Vec::with_capacity(ctx::QUEUE_RESERVE),
+                    outbox: Vec::with_capacity(ctx::QUEUE_RESERVE),
                     rng: rng.fork(idx as u64),
                 });
             }
@@ -333,6 +341,7 @@ impl Simulator {
             metrics,
             trace,
             observers,
+            scratch: SlotCtx::warmed(physical, cfg.positions),
             cfg,
         })
     }
@@ -371,7 +380,11 @@ impl Simulator {
 
     /// Advances one slot through the six-phase pipeline.
     fn step(&mut self, slot: u64) {
-        let mut ctx = SlotCtx::open(&self.cfg, &self.nodes, slot);
+        // Take the scratch context out so the phases can borrow the
+        // simulator mutably alongside it; its vectors are cleared and
+        // refilled in place, so capacity survives across all slots.
+        let mut ctx = std::mem::take(&mut self.scratch);
+        ctx.reset(&self.cfg, &self.nodes, slot);
         self.emit(&SimEvent::SlotBegan { slot });
         harvest::run(self, &mut ctx);
         wake::run(self, &mut ctx);
@@ -380,6 +393,7 @@ impl Simulator {
         transmit::run(self, &mut ctx);
         slot_end::run(self, &mut ctx);
         self.emit(&SimEvent::SlotEnded { slot });
+        self.scratch = ctx;
     }
 
     /// Splits the simulator into phase-visible state and the event bus.
@@ -396,6 +410,7 @@ impl Simulator {
             metrics,
             trace,
             observers,
+            scratch: _,
         } = self;
         (
             SimParts {

@@ -17,16 +17,26 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     let radio = parts.cfg.node.radio;
     let session = radio.session_cost(parts.rf);
     let n_pos = parts.positions.len();
-    // Forwarding duty (airtime) accumulated per position this slot.
-    let mut forward_bytes: Vec<u64> = vec![0; n_pos];
+    // Forwarding duty (airtime) accumulated per position this slot
+    // (scratch vector: capacity persists across slots).
+    ctx.forward_bytes.resize(n_pos, 0);
 
     for i in 0..parts.nodes.len() {
         if !ctx.awake[i] || parts.nodes[i].outbox.is_empty() {
             continue;
         }
         let position = parts.nodes[i].position;
-        // Processed packages first: smaller and more valuable.
-        parts.nodes[i].outbox.sort_by_key(|p| !p.fog_done);
+        // Processed packages first: smaller and more valuable. A
+        // stable two-pass partition through the package scratch keeps
+        // the relative order `sort_by_key` gave without its potential
+        // temporary allocation.
+        ctx.pkg_scratch.clear();
+        ctx.pkg_scratch
+            .extend(parts.nodes[i].outbox.iter().filter(|p| p.fog_done));
+        ctx.pkg_scratch
+            .extend(parts.nodes[i].outbox.iter().filter(|p| !p.fog_done));
+        parts.nodes[i].outbox.clear();
+        parts.nodes[i].outbox.extend_from_slice(&ctx.pkg_scratch);
         // Open the session only when the first packet is payable
         // too — bringing the radio up and then browning out before
         // anything is sent would waste the whole session.
@@ -72,7 +82,7 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
                 parts.nodes[i].rng.chance(p)
             };
             // Relay duty accrues at intermediate positions.
-            for pb in forward_bytes.iter_mut().take(position) {
+            for pb in ctx.forward_bytes.iter_mut().take(position) {
                 *pb += u64::from(bytes);
             }
             let origin = pkg.origin;
@@ -89,7 +99,7 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
 
     // Charge forwarding airtime to awake representatives of the
     // relay positions (RX + TX per byte).
-    for (pos, &bytes) in forward_bytes.iter().enumerate() {
+    for (pos, &bytes) in ctx.forward_bytes.iter().enumerate() {
         if bytes == 0 {
             continue;
         }

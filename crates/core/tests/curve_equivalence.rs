@@ -1,0 +1,486 @@
+//! Golden equivalence for the EnergyCurve / shared-base-plan refactor.
+//!
+//! Every `SystemKind` × all four `Scenario`s at seeds {1, 99} (200
+//! slots), plus NVD4Q multiplex-3 rows for the dependent scenarios.
+//! Counters are pinned exactly; independent-scenario harvested energy
+//! is additionally pinned to the pre-refactor value within float
+//! tolerance (the prefix-summed curve reassociates the income sum by
+//! a few ULPs).
+//!
+//! Two golden classes:
+//!
+//! * **Independent scenarios** (`ForestIndependent`, `MountainSunny`)
+//!   pin the values captured from the *pre-refactor* simulator
+//!   verbatim — proving the curve representation, the plan-derived RNG
+//!   streams, and the scratch slot context changed nothing observable.
+//! * **Dependent scenarios** (`BridgeDependent`, `MountainRainy`) pin
+//!   *post-fix* values (pre-fix values in comments): the old
+//!   `node_trace` re-forked the base stream per call, so every
+//!   physical node got a different "shared" base. The plan synthesizes
+//!   the base once, which intentionally changes these runs.
+
+use neofog_core::sim::{SimConfig, Simulator};
+use neofog_core::SystemKind;
+use neofog_energy::Scenario;
+
+struct Golden {
+    system: SystemKind,
+    scenario: Scenario,
+    seed: u64,
+    multiplex: u32,
+    wakeups: u64,
+    failures: u64,
+    captured: u64,
+    fog: u64,
+    cloud: u64,
+    dropped: u64,
+}
+
+const G: &[Golden] = &[
+    // ---- Independent: pre-refactor values, preserved bit-for-bit ----
+    golden(
+        SystemKind::NosVp,
+        Scenario::ForestIndependent,
+        1,
+        1,
+        2000,
+        0,
+        2000,
+        0,
+        335,
+        1665,
+    ),
+    golden(
+        SystemKind::NosVp,
+        Scenario::ForestIndependent,
+        99,
+        1,
+        2000,
+        0,
+        2000,
+        0,
+        325,
+        1675,
+    ),
+    golden(
+        SystemKind::NosVp,
+        Scenario::MountainSunny,
+        1,
+        1,
+        2000,
+        0,
+        2000,
+        0,
+        590,
+        1410,
+    ),
+    golden(
+        SystemKind::NosVp,
+        Scenario::MountainSunny,
+        99,
+        1,
+        2000,
+        0,
+        2000,
+        0,
+        584,
+        1416,
+    ),
+    golden(
+        SystemKind::NosNvp,
+        Scenario::ForestIndependent,
+        1,
+        1,
+        1992,
+        8,
+        1992,
+        329,
+        0,
+        1583,
+    ),
+    golden(
+        SystemKind::NosNvp,
+        Scenario::ForestIndependent,
+        99,
+        1,
+        1987,
+        13,
+        1987,
+        313,
+        0,
+        1594,
+    ),
+    golden(
+        SystemKind::NosNvp,
+        Scenario::MountainSunny,
+        1,
+        1,
+        2000,
+        0,
+        2000,
+        550,
+        0,
+        1265,
+    ),
+    golden(
+        SystemKind::NosNvp,
+        Scenario::MountainSunny,
+        99,
+        1,
+        2000,
+        0,
+        2000,
+        546,
+        0,
+        1251,
+    ),
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::ForestIndependent,
+        1,
+        1,
+        2000,
+        0,
+        2000,
+        628,
+        0,
+        1293,
+    ),
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::ForestIndependent,
+        99,
+        1,
+        2000,
+        0,
+        2000,
+        638,
+        1,
+        1283,
+    ),
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::MountainSunny,
+        1,
+        1,
+        2000,
+        0,
+        2000,
+        1279,
+        0,
+        651,
+    ),
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::MountainSunny,
+        99,
+        1,
+        2000,
+        0,
+        2000,
+        1291,
+        0,
+        637,
+    ),
+    // ---- Dependent: post-fix values (pre-fix in comments) ----
+    // was: cloud 266, dropped 1734
+    golden(
+        SystemKind::NosVp,
+        Scenario::BridgeDependent,
+        1,
+        1,
+        2000,
+        0,
+        2000,
+        0,
+        301,
+        1699,
+    ),
+    // was: cloud 289, dropped 1711
+    golden(
+        SystemKind::NosVp,
+        Scenario::BridgeDependent,
+        99,
+        1,
+        2000,
+        0,
+        2000,
+        0,
+        306,
+        1694,
+    ),
+    // was: captured 1085, dropped 1036
+    golden(
+        SystemKind::NosVp,
+        Scenario::MountainRainy,
+        1,
+        1,
+        2000,
+        0,
+        1078,
+        0,
+        49,
+        1029,
+    ),
+    // was: captured 1118, cloud 51
+    golden(
+        SystemKind::NosVp,
+        Scenario::MountainRainy,
+        99,
+        1,
+        2000,
+        0,
+        1119,
+        0,
+        52,
+        1067,
+    ),
+    // was: fog 245, dropped 1596
+    golden(
+        SystemKind::NosNvp,
+        Scenario::BridgeDependent,
+        1,
+        1,
+        2000,
+        0,
+        2000,
+        281,
+        0,
+        1640,
+    ),
+    // was: fog 289, dropped 1632
+    golden(
+        SystemKind::NosNvp,
+        Scenario::BridgeDependent,
+        99,
+        1,
+        2000,
+        0,
+        2000,
+        321,
+        0,
+        1598,
+    ),
+    // was: 1938 wakeups, 62 failures, 1054 captured, 148 fog, 834 dropped
+    golden(
+        SystemKind::NosNvp,
+        Scenario::MountainRainy,
+        1,
+        1,
+        1961,
+        39,
+        1071,
+        163,
+        0,
+        837,
+    ),
+    // was: 1961 wakeups, 39 failures, 1073 captured, 839 dropped
+    golden(
+        SystemKind::NosNvp,
+        Scenario::MountainRainy,
+        99,
+        1,
+        1974,
+        26,
+        1098,
+        164,
+        0,
+        859,
+    ),
+    // was: fog 619, dropped 1304
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::BridgeDependent,
+        1,
+        1,
+        2000,
+        0,
+        2000,
+        627,
+        0,
+        1294,
+    ),
+    // was: fog 630, dropped 1291
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::BridgeDependent,
+        99,
+        1,
+        2000,
+        0,
+        2000,
+        638,
+        0,
+        1282,
+    ),
+    // was: 1990 wakeups, 10 failures, 1083 captured, 357 fog, 654 dropped
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::MountainRainy,
+        1,
+        1,
+        1993,
+        7,
+        1073,
+        369,
+        0,
+        629,
+    ),
+    // was: 1999 wakeups, 1 failure, 1130 captured, 340 fog, 716 dropped
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::MountainRainy,
+        99,
+        1,
+        2000,
+        0,
+        1101,
+        364,
+        0,
+        664,
+    ),
+    // ---- Dependent, NVD4Q multiplex 3 (30 physical nodes) ----
+    // was: fog 1819, dropped 78
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::BridgeDependent,
+        1,
+        3,
+        2000,
+        0,
+        2000,
+        1847,
+        0,
+        73,
+    ),
+    // was: fog 1885, dropped 61
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::BridgeDependent,
+        99,
+        3,
+        2000,
+        0,
+        2000,
+        1888,
+        0,
+        68,
+    ),
+    // was: captured 1067, fog 806, dropped 187
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::MountainRainy,
+        1,
+        3,
+        1990,
+        10,
+        1084,
+        802,
+        0,
+        194,
+    ),
+    // was: 1995 wakeups, 5 failures, 1071 captured, 815 fog, 191 dropped
+    golden(
+        SystemKind::FiosNeoFog,
+        Scenario::MountainRainy,
+        99,
+        3,
+        1999,
+        1,
+        1082,
+        820,
+        0,
+        194,
+    ),
+];
+
+#[allow(clippy::too_many_arguments)]
+const fn golden(
+    system: SystemKind,
+    scenario: Scenario,
+    seed: u64,
+    multiplex: u32,
+    wakeups: u64,
+    failures: u64,
+    captured: u64,
+    fog: u64,
+    cloud: u64,
+    dropped: u64,
+) -> Golden {
+    Golden {
+        system,
+        scenario,
+        seed,
+        multiplex,
+        wakeups,
+        failures,
+        captured,
+        fog,
+        cloud,
+        dropped,
+    }
+}
+
+/// Pre-refactor total harvested energy (nJ) for the independent rows:
+/// the curve path must reproduce these to well under one nanojoule on
+/// ~1e11 nJ totals (the prefix sum only reassociates additions).
+const HARVESTED_NJ: &[(Scenario, u64, f64)] = &[
+    (Scenario::ForestIndependent, 1, 57_701_368_877.198),
+    (Scenario::ForestIndependent, 99, 55_596_251_924.750),
+    (Scenario::MountainSunny, 1, 104_030_149_297.697),
+    (Scenario::MountainSunny, 99, 100_609_338_781.804),
+];
+
+fn run(g: &Golden) -> neofog_core::NetworkMetrics {
+    let mut cfg = SimConfig::paper_default(g.system, g.scenario, g.seed);
+    cfg.slots = 200;
+    cfg.multiplex = g.multiplex;
+    Simulator::new(cfg).expect("valid config").run().metrics
+}
+
+#[test]
+fn counters_match_goldens_for_every_system_and_scenario() {
+    for g in G {
+        let m = run(g);
+        let label = format!(
+            "{:?}/{:?}/seed{}/x{}",
+            g.system, g.scenario, g.seed, g.multiplex
+        );
+        assert_eq!(m.total_wakeups(), g.wakeups, "{label} wakeups");
+        assert_eq!(m.total_failures(), g.failures, "{label} failures");
+        assert_eq!(m.total_captured(), g.captured, "{label} captured");
+        assert_eq!(m.fog_processed(), g.fog, "{label} fog");
+        assert_eq!(m.cloud_processed(), g.cloud, "{label} cloud");
+        assert_eq!(m.total_dropped(), g.dropped, "{label} dropped");
+    }
+}
+
+#[test]
+fn independent_harvest_totals_survive_the_curve_swap() {
+    for &(scenario, seed, expected_nj) in HARVESTED_NJ {
+        // Harvest totals depend only on the traces, not the system;
+        // NosVp is the cheapest to run.
+        let g = golden(SystemKind::NosVp, scenario, seed, 1, 0, 0, 0, 0, 0, 0);
+        let m = run(&g);
+        let harvested: f64 = m.nodes.iter().map(|n| n.harvested.as_nanojoules()).sum();
+        assert!(
+            (harvested - expected_nj).abs() < 1.0,
+            "{scenario:?}/seed{seed}: {harvested} vs pre-refactor {expected_nj}"
+        );
+    }
+}
+
+#[test]
+fn dependent_runs_share_identical_harvest_across_clones_of_one_position() {
+    // Sanity on the fix itself at the system level: with the shared
+    // base, two *separately built* simulators over overlapping node
+    // counts agree on common nodes, so a 1-chain and a widened run
+    // harvest identically per node prefix. We proxy this via repeat
+    // determinism at multiplex 3.
+    let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::BridgeDependent, 5);
+    cfg.slots = 100;
+    cfg.multiplex = 3;
+    let a = Simulator::new(cfg.clone()).expect("valid").run().metrics;
+    let b = Simulator::new(cfg).expect("valid").run().metrics;
+    assert_eq!(a, b);
+}

@@ -36,14 +36,16 @@
 //! assert!(cap.stored() > Energy::ZERO);
 //! ```
 
+pub mod curve;
 pub mod frontend;
 pub mod harvester;
 pub mod rtc;
 pub mod supercap;
 pub mod trace;
 
+pub use curve::EnergyCurve;
 pub use frontend::{Delivery, FrontEnd};
 pub use harvester::{Harvester, HarvesterKind};
 pub use rtc::Rtc;
 pub use supercap::{CapStats, SuperCap};
-pub use trace::{PowerTrace, Scenario, TraceGenerator};
+pub use trace::{ChainPlan, PowerTrace, Scenario, TraceGenerator};

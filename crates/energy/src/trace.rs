@@ -12,8 +12,10 @@
 //! * **Rainy** (mountain-slide monitoring, Figure 13): very low income
 //!   with occasional dimming, shared weather (dependent).
 
+use crate::curve::EnergyCurve;
 use neofog_types::{Duration, Power, SimRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A piecewise-constant power signal sampled on a fixed grid.
 ///
@@ -146,6 +148,16 @@ impl PowerTrace {
         }
     }
 
+    /// Multiplies every sample by `factor` in place, clamping at zero.
+    ///
+    /// Sample-for-sample identical to [`PowerTrace::scaled`] without
+    /// the reallocation.
+    pub fn scale_in_place(&mut self, factor: f64) {
+        for p in &mut self.samples {
+            *p = (*p * factor).max_zero();
+        }
+    }
+
     /// Appends another trace (must share the same `dt`).
     ///
     /// # Panics
@@ -219,13 +231,20 @@ struct Segment {
 
 /// Generates per-node power traces following the paper's recipes.
 ///
+/// All generation routes through [`TraceGenerator::chain_plan`]: the
+/// plan derives one deterministic RNG stream per node position from
+/// the generator seed (and, for dependent scenarios, synthesizes the
+/// shared base curve exactly once), so every method here is `&self`
+/// and position-pure — `node_trace(i)` returns the same trace no
+/// matter how many other nodes were generated before it.
+///
 /// # Examples
 ///
 /// ```
 /// use neofog_energy::{Scenario, TraceGenerator};
 /// use neofog_types::Duration;
 ///
-/// let mut gen = TraceGenerator::new(Scenario::ForestIndependent, 42);
+/// let gen = TraceGenerator::new(Scenario::ForestIndependent, 42);
 /// let traces = gen.node_traces(10, Duration::from_mins(30), Duration::from_secs(1));
 /// assert_eq!(traces.len(), 10);
 /// assert_eq!(traces[0].duration(), Duration::from_mins(30));
@@ -252,129 +271,239 @@ impl TraceGenerator {
         self.scenario
     }
 
+    /// Builds a plan for generating `n` node traces: per-node RNG
+    /// streams are derived up front, and for dependent scenarios the
+    /// shared base curve is synthesized exactly once (and `Arc`-shared
+    /// by the plan, never copied per node).
+    ///
+    /// Stream derivation is frozen to match the pre-plan draw order so
+    /// existing seeds reproduce: dependent plans fork the base stream
+    /// (`0xBA5E`) first and then stream `2·i` per node; independent
+    /// plans fork stream `2·i + 1` per node.
+    #[must_use]
+    pub fn chain_plan(&self, n: usize, total: Duration, dt: Duration) -> ChainPlan {
+        // Work on a clone: the generator itself stays untouched, so
+        // plan construction is repeatable.
+        let mut rng = self.rng.clone();
+        if self.scenario.is_dependent() {
+            let base_rng = rng.fork(0xBA5E);
+            let streams = (0..n)
+                .map(|i| rng.fork((i as u64).wrapping_mul(2)))
+                .collect();
+            let base = base_curve_with(
+                base_rng,
+                self.scenario.mean_power().as_milliwatts(),
+                total,
+                dt,
+            );
+            ChainPlan {
+                scenario: self.scenario,
+                total,
+                dt,
+                base: Some(Arc::new(base)),
+                streams,
+            }
+        } else {
+            let streams = (0..n)
+                .map(|i| rng.fork((i as u64).wrapping_mul(2) + 1))
+                .collect();
+            ChainPlan {
+                scenario: self.scenario,
+                total,
+                dt,
+                base: None,
+                streams,
+            }
+        }
+    }
+
     /// Generates `n` node traces of the given duration and resolution.
     ///
     /// Independent scenarios concatenate segments per node; dependent
     /// scenarios build one base curve and perturb it per node.
     #[must_use]
-    pub fn node_traces(&mut self, n: usize, total: Duration, dt: Duration) -> Vec<PowerTrace> {
-        if self.scenario.is_dependent() {
-            let base = self.base_curve(total, dt);
-            (0..n).map(|i| self.perturb(&base, i as u64)).collect()
-        } else {
-            (0..n)
-                .map(|i| self.independent_trace(total, dt, i as u64))
-                .collect()
-        }
+    pub fn node_traces(&self, n: usize, total: Duration, dt: Duration) -> Vec<PowerTrace> {
+        let plan = self.chain_plan(n, total, dt);
+        (0..n).map(|i| plan.node_trace(i)).collect()
     }
 
     /// Generates a single node trace (index selects the node's stream).
+    ///
+    /// Position-pure: identical to `node_traces(index + 1)[index]` for
+    /// every scenario, including dependent ones.
     #[must_use]
-    pub fn node_trace(&mut self, index: u64, total: Duration, dt: Duration) -> PowerTrace {
-        if self.scenario.is_dependent() {
-            let base = self.base_curve(total, dt);
-            self.perturb(&base, index)
-        } else {
-            self.independent_trace(total, dt, index)
+    pub fn node_trace(&self, index: u64, total: Duration, dt: Duration) -> PowerTrace {
+        self.chain_plan(index as usize + 1, total, dt)
+            .node_trace(index as usize)
+    }
+}
+
+/// A frozen generation plan for one chain of nodes: the per-node RNG
+/// streams plus (for dependent scenarios) the shared base curve,
+/// synthesized once and `Arc`-shared.
+///
+/// Produced by [`TraceGenerator::chain_plan`]. Realizing a node trace
+/// from the plan touches only that node's stream, so plans can hand
+/// out traces in any order — or skip nodes entirely — and remain
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct ChainPlan {
+    scenario: Scenario,
+    total: Duration,
+    dt: Duration,
+    base: Option<Arc<PowerTrace>>,
+    streams: Vec<SimRng>,
+}
+
+impl ChainPlan {
+    /// Number of node positions the plan covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// `true` if the plan covers no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.streams.is_empty()
+    }
+
+    /// The scenario the plan generates.
+    #[must_use]
+    pub fn scenario(&self) -> Scenario {
+        self.scenario
+    }
+
+    /// The shared base curve (dependent scenarios only).
+    #[must_use]
+    pub fn base(&self) -> Option<&Arc<PowerTrace>> {
+        self.base.as_ref()
+    }
+
+    /// Realizes the trace for node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn node_trace(&self, index: usize) -> PowerTrace {
+        assert!(index < self.streams.len(), "node index out of plan range");
+        let rng = self.streams[index].clone();
+        match &self.base {
+            Some(base) => perturb_with(rng, self.scenario.variance(), base),
+            None => independent_with(rng, self.scenario, self.total, self.dt),
         }
     }
 
-    fn segment_library(&self) -> Vec<Segment> {
-        let mean = self.scenario.mean_power().as_milliwatts();
-        let var = self.scenario.variance();
-        // Segment means spread around the scenario mean by the
-        // scenario's variance; lengths of 20–120 samples mimic passing
-        // clouds / moving leaves on a seconds-to-minutes timescale.
-        vec![
-            Segment {
-                mean: mean * (1.0 + var),
-                jitter: 0.10,
-                len_samples: 60,
-            },
-            Segment {
-                mean,
-                jitter: 0.15,
-                len_samples: 90,
-            },
-            Segment {
-                mean: mean * (1.0 - 0.6 * var),
-                jitter: 0.20,
-                len_samples: 45,
-            },
-            Segment {
-                mean: mean * (1.0 - var).max(0.05),
-                jitter: 0.25,
-                len_samples: 30,
-            },
-            Segment {
-                mean: mean * (1.0 + 0.5 * var),
-                jitter: 0.10,
-                len_samples: 120,
-            },
-        ]
+    /// Realizes the prefix-summed [`EnergyCurve`] for node `index`,
+    /// with every sample scaled by `income_scale` (clamped at zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn node_curve(&self, index: usize, income_scale: f64) -> EnergyCurve {
+        let mut trace = self.node_trace(index);
+        trace.scale_in_place(income_scale);
+        EnergyCurve::new(trace)
     }
+}
 
-    fn independent_trace(&mut self, total: Duration, dt: Duration, stream: u64) -> PowerTrace {
-        let mut rng = self.rng.fork(stream.wrapping_mul(2) + 1);
-        let library = self.segment_library();
-        let n = total.as_micros().div_ceil(dt.as_micros());
-        let mut samples = Vec::with_capacity(n as usize);
-        let fallback = Segment {
-            mean: self.scenario.mean_power().as_milliwatts(),
-            jitter: 0.1,
+fn segment_library(scenario: Scenario) -> Vec<Segment> {
+    let mean = scenario.mean_power().as_milliwatts();
+    let var = scenario.variance();
+    // Segment means spread around the scenario mean by the
+    // scenario's variance; lengths of 20–120 samples mimic passing
+    // clouds / moving leaves on a seconds-to-minutes timescale.
+    vec![
+        Segment {
+            mean: mean * (1.0 + var),
+            jitter: 0.10,
             len_samples: 60,
-        };
-        while (samples.len() as u64) < n {
-            // The library is a non-empty constant table; the fallback
-            // segment only guards the type-level empty case.
-            let seg = *rng.pick(&library).unwrap_or(&fallback);
-            let take = seg.len_samples.min((n as usize) - samples.len());
-            for _ in 0..take {
-                let p = seg.mean * (1.0 + seg.jitter * (2.0 * rng.next_f64() - 1.0));
-                samples.push(Power::from_milliwatts(p.max(0.0)));
-            }
-        }
-        PowerTrace::from_samples(dt, samples)
-    }
+        },
+        Segment {
+            mean,
+            jitter: 0.15,
+            len_samples: 90,
+        },
+        Segment {
+            mean: mean * (1.0 - 0.6 * var),
+            jitter: 0.20,
+            len_samples: 45,
+        },
+        Segment {
+            mean: mean * (1.0 - var).max(0.05),
+            jitter: 0.25,
+            len_samples: 30,
+        },
+        Segment {
+            mean: mean * (1.0 + 0.5 * var),
+            jitter: 0.10,
+            len_samples: 120,
+        },
+    ]
+}
 
-    fn base_curve(&mut self, total: Duration, dt: Duration) -> PowerTrace {
-        // A deterministic diurnal-style arc for the shared base: the
-        // trace covers a daytime window, so power rises to a plateau
-        // and dips with shared "weather" episodes.
-        let mean = self.scenario.mean_power().as_milliwatts();
-        let mut rng = self.rng.fork(0xBA5E);
-        let n = total.as_micros().div_ceil(dt.as_micros());
-        let mut samples = Vec::with_capacity(n as usize);
-        let mut weather = 1.0_f64;
-        for i in 0..n {
-            let phase = i as f64 / n.max(1) as f64;
-            // Half-sine daytime arc, normalized to unit mean so the
-            // scenario's nominal power is preserved (raw arc averages
-            // 0.55 + 0.45·2/π ≈ 0.836).
-            let arc = (0.55 + 0.45 * (std::f64::consts::PI * phase).sin()) / 0.8365;
-            // Slow shared weather random walk around unit mean.
-            weather = (weather + 0.02 * (2.0 * rng.next_f64() - 1.0)).clamp(0.7, 1.3);
-            samples.push(Power::from_milliwatts((mean * arc * weather).max(0.0)));
+fn independent_with(
+    mut rng: SimRng,
+    scenario: Scenario,
+    total: Duration,
+    dt: Duration,
+) -> PowerTrace {
+    let library = segment_library(scenario);
+    let n = total.as_micros().div_ceil(dt.as_micros());
+    let mut samples = Vec::with_capacity(n as usize);
+    let fallback = Segment {
+        mean: scenario.mean_power().as_milliwatts(),
+        jitter: 0.1,
+        len_samples: 60,
+    };
+    while (samples.len() as u64) < n {
+        // The library is a non-empty constant table; the fallback
+        // segment only guards the type-level empty case.
+        let seg = *rng.pick(&library).unwrap_or(&fallback);
+        let take = seg.len_samples.min((n as usize) - samples.len());
+        for _ in 0..take {
+            let p = seg.mean * (1.0 + seg.jitter * (2.0 * rng.next_f64() - 1.0));
+            samples.push(Power::from_milliwatts(p.max(0.0)));
         }
-        PowerTrace::from_samples(dt, samples)
     }
+    PowerTrace::from_samples(dt, samples)
+}
 
-    fn perturb(&mut self, base: &PowerTrace, stream: u64) -> PowerTrace {
-        let var = self.scenario.variance();
-        let mut rng = self.rng.fork(stream.wrapping_mul(2));
-        // Per-node static factor (panel angle / placement)...
-        let factor = 1.0 + var * (2.0 * rng.next_f64() - 1.0);
-        // ...plus small fast per-sample jitter.
-        let samples = base
-            .samples()
-            .iter()
-            .map(|p| {
-                let jitter = 1.0 + 0.05 * (2.0 * rng.next_f64() - 1.0);
-                (*p * (factor * jitter)).max_zero()
-            })
-            .collect();
-        PowerTrace::from_samples(base.dt(), samples)
+fn base_curve_with(mut rng: SimRng, mean: f64, total: Duration, dt: Duration) -> PowerTrace {
+    // A deterministic diurnal-style arc for the shared base: the
+    // trace covers a daytime window, so power rises to a plateau
+    // and dips with shared "weather" episodes.
+    let n = total.as_micros().div_ceil(dt.as_micros());
+    let mut samples = Vec::with_capacity(n as usize);
+    let mut weather = 1.0_f64;
+    for i in 0..n {
+        let phase = i as f64 / n.max(1) as f64;
+        // Half-sine daytime arc, normalized to unit mean so the
+        // scenario's nominal power is preserved (raw arc averages
+        // 0.55 + 0.45·2/π ≈ 0.836).
+        let arc = (0.55 + 0.45 * (std::f64::consts::PI * phase).sin()) / 0.8365;
+        // Slow shared weather random walk around unit mean.
+        weather = (weather + 0.02 * (2.0 * rng.next_f64() - 1.0)).clamp(0.7, 1.3);
+        samples.push(Power::from_milliwatts((mean * arc * weather).max(0.0)));
     }
+    PowerTrace::from_samples(dt, samples)
+}
+
+fn perturb_with(mut rng: SimRng, var: f64, base: &PowerTrace) -> PowerTrace {
+    // Per-node static factor (panel angle / placement)...
+    let factor = 1.0 + var * (2.0 * rng.next_f64() - 1.0);
+    // ...plus small fast per-sample jitter.
+    let samples = base
+        .samples()
+        .iter()
+        .map(|p| {
+            let jitter = 1.0 + 0.05 * (2.0 * rng.next_f64() - 1.0);
+            (*p * (factor * jitter)).max_zero()
+        })
+        .collect();
+    PowerTrace::from_samples(base.dt(), samples)
 }
 
 #[cfg(test)]
@@ -426,8 +555,8 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        let mut a = TraceGenerator::new(Scenario::ForestIndependent, 7);
-        let mut b = TraceGenerator::new(Scenario::ForestIndependent, 7);
+        let a = TraceGenerator::new(Scenario::ForestIndependent, 7);
+        let b = TraceGenerator::new(Scenario::ForestIndependent, 7);
         let ta = a.node_traces(3, Duration::from_mins(5), Duration::from_secs(1));
         let tb = b.node_traces(3, Duration::from_mins(5), Duration::from_secs(1));
         assert_eq!(ta, tb);
@@ -435,7 +564,7 @@ mod tests {
 
     #[test]
     fn independent_nodes_are_decorrelated() {
-        let mut gen = TraceGenerator::new(Scenario::ForestIndependent, 1);
+        let gen = TraceGenerator::new(Scenario::ForestIndependent, 1);
         let traces = gen.node_traces(2, Duration::from_mins(30), Duration::from_secs(1));
         let (a, b) = (&traces[0], &traces[1]);
         let corr = correlation(a.samples(), b.samples());
@@ -444,7 +573,7 @@ mod tests {
 
     #[test]
     fn dependent_nodes_are_correlated() {
-        let mut gen = TraceGenerator::new(Scenario::BridgeDependent, 1);
+        let gen = TraceGenerator::new(Scenario::BridgeDependent, 1);
         let traces = gen.node_traces(2, Duration::from_mins(30), Duration::from_secs(1));
         let corr = correlation(traces[0].samples(), traces[1].samples());
         assert!(corr > 0.8, "dependent correlation too low: {corr}");
@@ -452,12 +581,12 @@ mod tests {
 
     #[test]
     fn rainy_scenario_is_low_power() {
-        let mut gen = TraceGenerator::new(Scenario::MountainRainy, 3);
+        let gen = TraceGenerator::new(Scenario::MountainRainy, 3);
         let traces = gen.node_traces(4, Duration::from_mins(10), Duration::from_secs(1));
         for t in &traces {
             assert!(t.mean_power() < Power::from_milliwatts(3.0));
         }
-        let mut sunny = TraceGenerator::new(Scenario::MountainSunny, 3);
+        let sunny = TraceGenerator::new(Scenario::MountainSunny, 3);
         let st = sunny.node_trace(0, Duration::from_mins(10), Duration::from_secs(1));
         assert!(st.mean_power() > traces[0].mean_power() * 4.0);
     }
@@ -470,7 +599,7 @@ mod tests {
             Scenario::MountainSunny,
             Scenario::MountainRainy,
         ] {
-            let mut gen = TraceGenerator::new(sc, 11);
+            let gen = TraceGenerator::new(sc, 11);
             let t = gen.node_trace(0, Duration::from_mins(20), Duration::from_secs(1));
             let mean = t.mean_power().as_milliwatts();
             let nominal = sc.mean_power().as_milliwatts();

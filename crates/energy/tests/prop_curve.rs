@@ -1,0 +1,85 @@
+//! Property tests: the prefix-summed [`EnergyCurve`] must agree with
+//! the walk-based [`PowerTrace::energy_between`] on arbitrary traces
+//! and arbitrary (unaligned) intervals, within the accumulated
+//! floating-point rounding of one pass over the trace.
+
+use neofog_energy::{EnergyCurve, PowerTrace};
+use neofog_types::{Duration, Power};
+use proptest::prelude::*;
+
+/// Arbitrary short trace: 0–64 samples of 0–10 mW on a 250 ms grid.
+fn trace() -> impl Strategy<Value = PowerTrace> {
+    prop::collection::vec(0.0..10.0f64, 0..64).prop_map(|mw| {
+        PowerTrace::from_samples(
+            Duration::from_millis(250),
+            mw.into_iter().map(Power::from_milliwatts).collect(),
+        )
+    })
+}
+
+/// The curve and the walk both accumulate ~len additions, so allow
+/// each a few ULPs of the total magnitude.
+fn close(a: f64, b: f64, scale: f64) -> bool {
+    (a - b).abs() <= 1e-9 * scale.abs().max(1.0)
+}
+
+proptest! {
+    #[test]
+    fn curve_matches_walk_on_arbitrary_intervals(
+        t in trace(),
+        a_us in 0u64..20_000_000,
+        b_us in 0u64..20_000_000,
+    ) {
+        let (t0, t1) = (a_us.min(b_us), a_us.max(b_us));
+        let (t0, t1) = (Duration::from_micros(t0), Duration::from_micros(t1));
+        let walk = t.energy_between(t0, t1).as_nanojoules();
+        let curve = EnergyCurve::new(t.clone());
+        let fast = curve.energy_between(t0, t1).as_nanojoules();
+        let total = curve.total_energy().as_nanojoules();
+        prop_assert!(
+            close(walk, fast, total),
+            "interval [{t0:?}, {t1:?}): walk {walk} vs curve {fast} (total {total})"
+        );
+    }
+
+    #[test]
+    fn degenerate_interval_is_always_zero(t in trace(), at_us in 0u64..20_000_000) {
+        let at = Duration::from_micros(at_us);
+        let curve = EnergyCurve::new(t);
+        prop_assert_eq!(curve.energy_between(at, at).as_nanojoules(), 0.0);
+    }
+
+    #[test]
+    fn whole_trace_equals_total(t in trace()) {
+        let walk = t.energy_between(Duration::ZERO, t.duration()).as_nanojoules();
+        let curve = EnergyCurve::new(t);
+        let total = curve.total_energy().as_nanojoules();
+        prop_assert!(close(walk, total, total), "walk {walk} vs total {total}");
+        // Extending past the end never adds energy.
+        let beyond = curve
+            .energy_between(Duration::ZERO, curve.duration() + Duration::from_secs(3600))
+            .as_nanojoules();
+        prop_assert_eq!(beyond, total);
+    }
+
+    #[test]
+    fn curve_is_additive_over_a_split(
+        t in trace(),
+        a_us in 0u64..20_000_000,
+        b_us in 0u64..20_000_000,
+        c_us in 0u64..20_000_000,
+    ) {
+        // energy[a, c) == energy[a, b) + energy[b, c) for a <= b <= c:
+        // exact for the prefix representation up to one rounding of
+        // the subtraction, which the shared-total tolerance covers.
+        let mut ts = [a_us, b_us, c_us];
+        ts.sort_unstable();
+        let [a, b, c] = ts.map(Duration::from_micros);
+        let curve = EnergyCurve::new(t);
+        let whole = curve.energy_between(a, c).as_nanojoules();
+        let parts = curve.energy_between(a, b).as_nanojoules()
+            + curve.energy_between(b, c).as_nanojoules();
+        let total = curve.total_energy().as_nanojoules();
+        prop_assert!(close(whole, parts, total), "{whole} vs {parts}");
+    }
+}

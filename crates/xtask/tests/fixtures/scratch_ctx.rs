@@ -1,0 +1,32 @@
+//! Scratch-context fixture: slot-scratch reuse code as it would live
+//! under `crates/core/src/sim/` (the reusable `SlotCtx` reset idiom).
+//! `sloppy_reset` carries one violation per line in rule-id order;
+//! `waived_indexing` exercises the sim-wide NF-PANIC-003 allowlist;
+//! the last two functions split NF-LEDGER-001 into an unbooked motion
+//! (flagged) and the booked reset idiom (quiet).
+
+pub fn sloppy_reset(budgets: &[Energy]) -> Energy {
+    let opened = std::time::Instant::now();
+    let seen = std::collections::HashMap::<u64, u64>::new();
+    let salt = thread_rng().next_u32() as u64;
+    let head = *budgets.first().unwrap();
+    panic!("scratch fixture gave up");
+}
+
+pub fn waived_indexing(awake: &[bool]) -> bool {
+    awake[0]
+}
+
+pub fn unbooked_reset(cap: &mut SuperCap, gross: Energy) -> Energy {
+    cap.discharge_up_to(gross)
+}
+
+// Booking within two lines satisfies the conservation rule: this is
+// exactly the shape `SlotCtx::reset` uses when it opens the per-node
+// ledgers against the stored level entering the slot.
+
+pub fn booked_reset(cap: &mut SuperCap, ledger: &mut EnergyLedger, gross: Energy) -> Energy {
+    let drawn = cap.discharge_up_to(gross);
+    ledger.debit_loss(drawn);
+    drawn
+}

@@ -181,6 +181,44 @@ fn library_rules_skip_test_trees_entirely() {
 }
 
 #[test]
+fn scratch_ctx_sources_stay_fully_covered() {
+    // The slot-scratch refactor moved per-slot state into a reusable
+    // `SlotCtx` that is reset in place every slot; this fixture pins
+    // the policy for that code. At its real home every determinism
+    // and panic rule fires, the sim-wide NF-PANIC-003 allowlist still
+    // waives loop-bound indexing, and NF-LEDGER-001 keeps covering
+    // ctx.rs — the ledgers are *opened* there now, so the rule's
+    // `crates/core/src/sim/*.rs` glob needed no re-scope: the
+    // unbooked discharge is flagged while the booked reset idiom
+    // (ledger named within two lines) stays quiet.
+    let violations = lint_source(
+        "crates/core/src/sim/ctx.rs",
+        include_str!("fixtures/scratch_ctx.rs"),
+    );
+    let hits: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+    assert_eq!(
+        hits,
+        vec![
+            "NF-DET-001",
+            "NF-DET-002",
+            "NF-DET-003",
+            "NF-PANIC-001",
+            "NF-PANIC-002",
+            "NF-LEDGER-001",
+        ],
+        "one hit per violating line; indexing waived; booked reset quiet"
+    );
+    // The single ledger hit is the unbooked discharge, not the booked
+    // one three lines below it.
+    let ledger_lines: Vec<u32> = violations
+        .iter()
+        .filter(|v| v.rule == "NF-LEDGER-001")
+        .map(|v| v.line)
+        .collect();
+    assert_eq!(ledger_lines, vec![21], "only the unbooked discharge");
+}
+
+#[test]
 fn runner_sources_are_fully_in_scope() {
     // The work-stealing pool is exactly where a stray wall clock,
     // hash map or unwrap would break batch determinism, so every
