@@ -1,13 +1,28 @@
-//! The lint engine: file classification, test-code exemption, inline
-//! allow directives, and one matcher per rule in [`crate::rules`].
+//! The lint engine driver: file classification, the two-phase
+//! pipeline, waiver bookkeeping and the baseline filter.
+//!
+//! Pass 1 builds a [`FileModel`] per classified file (token stream
+//! with test spans stripped, plus the parsed item model) and runs the
+//! per-file matchers. Pass 2 builds the workspace [`CallGraph`] and
+//! runs the transitive rules in [`crate::reach`]. All raw findings
+//! then flow through one suppression layer — inline
+//! `neofog-lint: allow(...)` directives, then identifier allowlists,
+//! then file allowlists, then (workspace runs only) the checked-in
+//! baseline — which records which waivers actually fired so stale
+//! ones can be reported as warnings instead of silently rotting.
 
+use crate::baseline::{Baseline, BASELINE_FILE};
+use crate::graph::CallGraph;
 use crate::lexer::{tokenize, Tok, TokKind};
+use crate::parser::{test_span_lines, FileModel};
+use crate::reach;
 use crate::rules::{
     self, Scope, BANNED_HASH_IDENTS, BANNED_PANIC_MACROS, BANNED_PANIC_METHODS, BANNED_RNG_IDENTS,
     BANNED_TIME_IDENTS, DIMENSIONED_MARKERS, DIMENSIONED_SUFFIXES, DIMENSIONLESS_MARKERS,
     LEDGER_METHODS,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
 use std::path::Path;
 
 /// Crates whose library code must be deterministic (rule scope
@@ -25,6 +40,13 @@ pub struct Violation {
     pub line: u32,
     /// What was found at the site.
     pub message: String,
+    /// The identifier the finding is about (method/field/ident name),
+    /// used by identifier-level allowlists; empty when not
+    /// applicable.
+    pub subject: String,
+    /// For graph rules: the call chain (display names) from an entry
+    /// point to the offending function. Empty for per-file rules.
+    pub chain: Vec<String>,
 }
 
 /// How a file participates in the lint pass.
@@ -86,13 +108,19 @@ pub fn classify(rel: &str) -> Option<FileClass> {
     })
 }
 
-/// Lines on which each rule is waived by an inline directive.
-type AllowMap = BTreeMap<String, BTreeSet<u32>>;
+/// One inline waiver: `// neofog-lint: allow(RULE)` covering its own
+/// line and the line below.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct InlineAllow {
+    rule: String,
+    line: u32,
+    used: bool,
+}
 
-/// Parses `// neofog-lint: allow(ID[, ID]*)` directives. A directive
-/// waives the listed rules on its own line and the line below it.
-fn parse_allow_directives(source: &str) -> AllowMap {
-    let mut map: AllowMap = BTreeMap::new();
+/// Parses `// neofog-lint: allow(ID[, ID]*)` directives, one entry
+/// per (rule, directive line).
+fn parse_allow_directives(source: &str) -> Vec<InlineAllow> {
+    let mut out = Vec::new();
     for (idx, raw) in source.lines().enumerate() {
         let line_no = idx as u32 + 1;
         let Some(pos) = raw.find("neofog-lint:") else {
@@ -111,118 +139,26 @@ fn parse_allow_directives(source: &str) -> AllowMap {
             if id.is_empty() {
                 continue;
             }
-            let lines = map.entry(id.to_string()).or_default();
-            lines.insert(line_no);
-            lines.insert(line_no + 1);
+            out.push(InlineAllow {
+                rule: id.to_string(),
+                line: line_no,
+                used: false,
+            });
         }
     }
-    map
+    out
 }
 
-/// Strips tokens belonging to test code: any item annotated with an
-/// attribute containing the identifier `test` (`#[test]`,
-/// `#[cfg(test)] mod ...`, `#[cfg(all(test, ...))]`), including the
-/// whole body of a `#[cfg(test)] mod`.
-fn strip_test_spans(toks: &[Tok]) -> Vec<Tok> {
-    let mut keep = vec![true; toks.len()];
-    let mut i = 0usize;
-    while i < toks.len() {
-        if !toks.get(i).is_some_and(|t| t.is_punct('#')) {
-            i += 1;
-            continue;
-        }
-        // Attribute: `#[...]` or `#![...]`.
-        let mut j = i + 1;
-        if toks.get(j).is_some_and(|t| t.is_punct('!')) {
-            j += 1;
-        }
-        if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
-            i += 1;
-            continue;
-        }
-        let attr_start = i;
-        let mut depth = 0i32;
-        let mut is_test_attr = false;
-        while let Some(t) = toks.get(j) {
-            if t.is_punct('[') {
-                depth += 1;
-            } else if t.is_punct(']') {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
-            } else if t.is_ident("test") {
-                // `#[cfg(not(test))]` gates *non*-test code.
-                let negated = j >= 2
-                    && toks.get(j - 1).is_some_and(|p| p.is_punct('('))
-                    && toks.get(j - 2).is_some_and(|p| p.is_ident("not"));
-                if !negated {
-                    is_test_attr = true;
-                }
-            }
-            j += 1;
-        }
-        let attr_end = j; // index of the closing ']'
-        if !is_test_attr {
-            i = attr_end + 1;
-            continue;
-        }
-        // Skip any further attributes between this one and the item.
-        let mut k = attr_end + 1;
-        while toks.get(k).is_some_and(|t| t.is_punct('#')) {
-            let mut d = 0i32;
-            let mut m = k + 1;
-            if toks.get(m).is_some_and(|t| t.is_punct('!')) {
-                m += 1;
-            }
-            while let Some(t) = toks.get(m) {
-                if t.is_punct('[') {
-                    d += 1;
-                } else if t.is_punct(']') {
-                    d -= 1;
-                    if d == 0 {
-                        break;
-                    }
-                }
-                m += 1;
-            }
-            k = m + 1;
-        }
-        // Skip the annotated item: up to a `;` at depth 0, or the
-        // matching `}` of its first depth-0 `{`.
-        let mut brace = 0i32;
-        let mut paren = 0i32;
-        let mut end = k;
-        while let Some(t) = toks.get(end) {
-            if t.is_punct('{') {
-                brace += 1;
-            } else if t.is_punct('}') {
-                brace -= 1;
-                if brace == 0 {
-                    break;
-                }
-            } else if t.is_punct('(') {
-                paren += 1;
-            } else if t.is_punct(')') {
-                paren -= 1;
-            } else if t.is_punct(';') && brace == 0 && paren == 0 {
-                break;
-            }
-            end += 1;
-        }
-        for flag in keep
-            .iter_mut()
-            .take((end + 1).min(toks.len()))
-            .skip(attr_start)
-        {
-            *flag = false;
-        }
-        i = end + 1;
-    }
-    toks.iter()
-        .zip(keep)
-        .filter_map(|(t, k)| if k { Some(t.clone()) } else { None })
-        .collect()
+/// True when `id` is shaped like a real rule id (`NF-PANIC-001`):
+/// exactly three `-`-separated segments — `NF`, an uppercase family,
+/// a numeric index.
+fn has_rule_id_shape(id: &str) -> bool {
+    let mut parts = id.split('-');
+    let (a, b, c) = (parts.next(), parts.next(), parts.next());
+    parts.next().is_none()
+        && a == Some("NF")
+        && b.is_some_and(|s| !s.is_empty() && s.chars().all(|ch| ch.is_ascii_uppercase()))
+        && c.is_some_and(|s| !s.is_empty() && s.chars().all(|ch| ch.is_ascii_digit()))
 }
 
 /// Keywords that may legitimately precede a `[` starting an array
@@ -233,14 +169,6 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where", "while",
     "yield",
 ];
-
-struct FileCtx<'a> {
-    rel: &'a str,
-    class: FileClass,
-    toks: Vec<Tok>,
-    allows: AllowMap,
-    out: Vec<Violation>,
-}
 
 /// Matches a workspace-relative path against a glob pattern where `*`
 /// stands for any run of characters except `/`. A pattern without `*`
@@ -276,147 +204,58 @@ pub(crate) fn glob_matches(pattern: &str, path: &str) -> bool {
     }
 }
 
-impl FileCtx<'_> {
-    fn rule_applies(&self, rule_id: &str) -> bool {
-        let Some(rule) = rules::rule_by_id(rule_id) else {
-            return false;
-        };
-        let in_scope = match rule.scope {
-            Scope::Library => self.class.is_library,
-            Scope::SimCrates => self.class.is_sim,
-            Scope::File(path) => self.rel == path,
-            Scope::Glob(pattern) => glob_matches(pattern, self.rel),
-        };
-        in_scope
-            && !rules::FILE_ALLOWS
-                .iter()
-                .any(|a| a.rule == rule_id && glob_matches(a.path, self.rel))
-    }
+// --- shared site scanners ------------------------------------------------
+//
+// The per-file matchers scan a whole token stream; the graph rules in
+// `crate::reach` scan one function body at a time. Both use these
+// range-based helpers so the heuristics cannot drift apart.
 
-    fn push(&mut self, rule: &'static str, line: u32, message: String) {
-        if self
-            .allows
-            .get(rule)
-            .is_some_and(|lines| lines.contains(&line))
-        {
-            return;
-        }
-        self.out.push(Violation {
-            rule,
-            path: self.rel.to_string(),
-            line,
-            message,
-        });
-    }
-}
-
-/// Lints one file's source text. `rel_path` decides which rules apply;
-/// unclassified paths produce no diagnostics.
-#[must_use]
-pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
-    let Some(class) = classify(rel_path) else {
-        return Vec::new();
-    };
-    let toks = strip_test_spans(&tokenize(source));
-    let mut ctx = FileCtx {
-        rel: rel_path,
-        class,
-        toks,
-        allows: parse_allow_directives(source),
-        out: Vec::new(),
-    };
-    check_banned_idents(&mut ctx);
-    check_panic_methods(&mut ctx);
-    check_panic_macros(&mut ctx);
-    check_indexing(&mut ctx);
-    check_units(&mut ctx);
-    check_ledger(&mut ctx);
-    ctx.out.sort_by_key(|v| (v.line, v.rule));
-    ctx.out
-}
-
-/// NF-DET-001/002/003: banned identifiers in simulation crates.
-fn check_banned_idents(ctx: &mut FileCtx<'_>) {
-    let groups: [(&'static str, &[&str], &str); 3] = [
-        ("NF-DET-001", BANNED_TIME_IDENTS, "wall-clock time source"),
-        ("NF-DET-002", BANNED_HASH_IDENTS, "hash-ordered collection"),
-        ("NF-DET-003", BANNED_RNG_IDENTS, "non-SimRng randomness"),
-    ];
-    for (rule, idents, what) in groups {
-        if !ctx.rule_applies(rule) {
-            continue;
-        }
-        let hits: Vec<(u32, String)> = ctx
-            .toks
-            .iter()
-            .filter(|t| t.kind == TokKind::Ident && idents.contains(&t.text.as_str()))
-            .map(|t| (t.line, t.text.clone()))
-            .collect();
-        for (line, name) in hits {
-            ctx.push(rule, line, format!("{what} `{name}`"));
-        }
-    }
-}
-
-/// NF-PANIC-001: `.unwrap()` / `.expect(` method calls.
-fn check_panic_methods(ctx: &mut FileCtx<'_>) {
-    if !ctx.rule_applies("NF-PANIC-001") {
-        return;
-    }
+/// `.unwrap()` / `.expect(` method-call sites in `range`.
+pub(crate) fn panic_method_sites(toks: &[Tok], range: Range<usize>) -> Vec<(u32, String)> {
     let mut hits = Vec::new();
-    for i in 0..ctx.toks.len() {
-        let Some(tok) = ctx.toks.get(i) else { break };
+    for i in range {
+        let Some(tok) = toks.get(i) else { break };
         if tok.kind != TokKind::Ident || !BANNED_PANIC_METHODS.contains(&tok.text.as_str()) {
             continue;
         }
-        let dotted = i > 0 && ctx.toks.get(i - 1).is_some_and(|t| t.is_punct('.'));
-        let called = ctx.toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let dotted = i > 0 && toks.get(i - 1).is_some_and(|t| t.is_punct('.'));
+        let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
         if dotted && called {
             hits.push((tok.line, tok.text.clone()));
         }
     }
-    for (line, name) in hits {
-        ctx.push("NF-PANIC-001", line, format!("`.{name}()` can panic"));
-    }
+    hits
 }
 
-/// NF-PANIC-002: `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
-fn check_panic_macros(ctx: &mut FileCtx<'_>) {
-    if !ctx.rule_applies("NF-PANIC-002") {
-        return;
-    }
+/// `panic!` / `unreachable!` / `todo!` / `unimplemented!` sites in
+/// `range`.
+pub(crate) fn panic_macro_sites(toks: &[Tok], range: Range<usize>) -> Vec<(u32, String)> {
     let mut hits = Vec::new();
-    for i in 0..ctx.toks.len() {
-        let Some(tok) = ctx.toks.get(i) else { break };
+    for i in range {
+        let Some(tok) = toks.get(i) else { break };
         if tok.kind != TokKind::Ident || !BANNED_PANIC_MACROS.contains(&tok.text.as_str()) {
             continue;
         }
-        if ctx.toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
             hits.push((tok.line, tok.text.clone()));
         }
     }
-    for (line, name) in hits {
-        ctx.push(
-            "NF-PANIC-002",
-            line,
-            format!("`{name}!` aborts the simulation"),
-        );
-    }
+    hits
 }
 
-/// NF-PANIC-003: `expr[...]` indexing (heuristic: `[` directly after an
-/// identifier, `)` or `]`).
-fn check_indexing(ctx: &mut FileCtx<'_>) {
-    if !ctx.rule_applies("NF-PANIC-003") {
-        return;
-    }
+/// `expr[...]` indexing sites in `range` (heuristic: `[` directly
+/// after an identifier, `)` or `]`).
+pub(crate) fn indexing_sites(toks: &[Tok], range: Range<usize>) -> Vec<u32> {
     let mut hits = Vec::new();
-    for i in 1..ctx.toks.len() {
-        let Some(tok) = ctx.toks.get(i) else { break };
+    for i in range {
+        if i == 0 {
+            continue;
+        }
+        let Some(tok) = toks.get(i) else { break };
         if !tok.is_punct('[') {
             continue;
         }
-        let Some(prev) = ctx.toks.get(i - 1) else {
+        let Some(prev) = toks.get(i - 1) else {
             continue;
         };
         let indexes = match prev.kind {
@@ -428,13 +267,107 @@ fn check_indexing(ctx: &mut FileCtx<'_>) {
             hits.push(tok.line);
         }
     }
-    for line in hits {
-        ctx.push(
-            "NF-PANIC-003",
-            line,
-            "slice indexing can panic; use get() or an iterator".to_string(),
-        );
+    hits
+}
+
+/// Banned-determinism identifier sites in `range`:
+/// `(rule, line, name, what)`.
+pub(crate) fn det_ident_sites(
+    toks: &[Tok],
+    range: Range<usize>,
+) -> Vec<(&'static str, u32, String, &'static str)> {
+    let groups: [(&'static str, &[&str], &'static str); 3] = [
+        ("NF-DET-001", BANNED_TIME_IDENTS, "wall-clock time source"),
+        ("NF-DET-002", BANNED_HASH_IDENTS, "hash-ordered collection"),
+        ("NF-DET-003", BANNED_RNG_IDENTS, "non-SimRng randomness"),
+    ];
+    let mut hits = Vec::new();
+    for i in range {
+        let Some(tok) = toks.get(i) else { break };
+        if tok.kind != TokKind::Ident {
+            continue;
+        }
+        for (rule, idents, what) in groups {
+            if idents.contains(&tok.text.as_str()) {
+                hits.push((rule, tok.line, tok.text.clone(), what));
+            }
+        }
     }
+    hits
+}
+
+// --- per-file matchers ---------------------------------------------------
+
+/// Is `rule_id` in scope for this file? (Allowlists are applied later,
+/// in the suppression layer.)
+fn rule_in_scope(rule_id: &str, model: &FileModel) -> bool {
+    let Some(rule) = rules::rule_by_id(rule_id) else {
+        return false;
+    };
+    match rule.scope {
+        Scope::Library => model.class.is_library,
+        Scope::SimCrates => model.class.is_sim,
+        Scope::File(path) => model.rel == path,
+        Scope::Glob(pattern) => glob_matches(pattern, &model.rel),
+    }
+}
+
+fn push_violation(
+    out: &mut Vec<Violation>,
+    model: &FileModel,
+    rule: &'static str,
+    line: u32,
+    subject: String,
+    message: String,
+) {
+    out.push(Violation {
+        rule,
+        path: model.rel.clone(),
+        line,
+        message,
+        subject,
+        chain: Vec::new(),
+    });
+}
+
+/// Runs every per-file rule over one model, emitting raw
+/// (unsuppressed) violations.
+fn per_file_rules(model: &FileModel) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let all = 0..model.toks.len();
+    for (rule, line, name, what) in det_ident_sites(&model.toks, all.clone()) {
+        if rule_in_scope(rule, model) {
+            let msg = format!("{what} `{name}`");
+            push_violation(&mut out, model, rule, line, name, msg);
+        }
+    }
+    if rule_in_scope("NF-PANIC-001", model) {
+        for (line, name) in panic_method_sites(&model.toks, all.clone()) {
+            let msg = format!("`.{name}()` can panic");
+            push_violation(&mut out, model, "NF-PANIC-001", line, name, msg);
+        }
+    }
+    if rule_in_scope("NF-PANIC-002", model) {
+        for (line, name) in panic_macro_sites(&model.toks, all.clone()) {
+            let msg = format!("`{name}!` aborts the simulation");
+            push_violation(&mut out, model, "NF-PANIC-002", line, name, msg);
+        }
+    }
+    if rule_in_scope("NF-PANIC-003", model) {
+        for line in indexing_sites(&model.toks, all.clone()) {
+            push_violation(
+                &mut out,
+                model,
+                "NF-PANIC-003",
+                line,
+                String::new(),
+                "slice indexing can panic; use get() or an iterator".to_string(),
+            );
+        }
+    }
+    check_units(model, &mut out);
+    check_ledger(model, &mut out);
+    out
 }
 
 fn is_dimensioned_name(name: &str) -> bool {
@@ -449,21 +382,19 @@ fn is_dimensioned_name(name: &str) -> bool {
 /// NF-UNIT-001: `name: f64` fields, parameters and consts whose name
 /// carries a physical dimension. Local `let` bindings are exempt — the
 /// typed-unit discipline bites at API boundaries.
-fn check_units(ctx: &mut FileCtx<'_>) {
-    if !ctx.rule_applies("NF-UNIT-001") || ctx.rel == "crates/types/src/units.rs" {
+fn check_units(model: &FileModel, out: &mut Vec<Violation>) {
+    if !rule_in_scope("NF-UNIT-001", model) || model.rel == "crates/types/src/units.rs" {
         return;
     }
-    let mut hits = Vec::new();
-    for i in 0..ctx.toks.len() {
-        let Some(name_tok) = ctx.toks.get(i) else {
-            break;
-        };
+    let toks = &model.toks;
+    for i in 0..toks.len() {
+        let Some(name_tok) = toks.get(i) else { break };
         if name_tok.kind != TokKind::Ident {
             continue;
         }
-        let colon = ctx.toks.get(i + 1).is_some_and(|t| t.is_punct(':'));
-        let f64_type = ctx.toks.get(i + 2).is_some_and(|t| t.is_ident("f64"));
-        let terminated = ctx.toks.get(i + 3).is_none_or(|t| {
+        let colon = toks.get(i + 1).is_some_and(|t| t.is_punct(':'));
+        let f64_type = toks.get(i + 2).is_some_and(|t| t.is_ident("f64"));
+        let terminated = toks.get(i + 3).is_none_or(|t| {
             t.is_punct(',')
                 || t.is_punct(')')
                 || t.is_punct('}')
@@ -474,58 +405,51 @@ fn check_units(ctx: &mut FileCtx<'_>) {
             continue;
         }
         // `let [mut] name: f64` is a local binding — exempt.
-        let prev = i.checked_sub(1).and_then(|p| ctx.toks.get(p));
-        let prev2 = i.checked_sub(2).and_then(|p| ctx.toks.get(p));
+        let prev = i.checked_sub(1).and_then(|p| toks.get(p));
+        let prev2 = i.checked_sub(2).and_then(|p| toks.get(p));
         let is_local = prev.is_some_and(|t| t.is_ident("let"))
             || (prev.is_some_and(|t| t.is_ident("mut"))
                 && prev2.is_some_and(|t| t.is_ident("let")));
-        if is_local {
+        if is_local || !is_dimensioned_name(&name_tok.text) {
             continue;
         }
-        if rules::IDENT_ALLOWS
-            .iter()
-            .any(|a| a.rule == "NF-UNIT-001" && a.ident == name_tok.text)
-        {
-            continue;
-        }
-        if is_dimensioned_name(&name_tok.text) {
-            hits.push((name_tok.line, name_tok.text.clone()));
-        }
-    }
-    for (line, name) in hits {
-        ctx.push(
+        let msg = format!(
+            "`{}: f64` looks dimensioned; use the typed units in \
+             neofog_types (Energy/Power/Duration)",
+            name_tok.text
+        );
+        push_violation(
+            out,
+            model,
             "NF-UNIT-001",
-            line,
-            format!(
-                "`{name}: f64` looks dimensioned; use the typed units in \
-                 neofog_types (Energy/Power/Duration)"
-            ),
+            name_tok.line,
+            name_tok.text.clone(),
+            msg,
         );
     }
 }
 
 /// NF-LEDGER-001: energy-moving calls in the slot loop must book in the
 /// `EnergyLedger` — an identifier `ledger` within two lines.
-fn check_ledger(ctx: &mut FileCtx<'_>) {
-    if !ctx.rule_applies("NF-LEDGER-001") {
+fn check_ledger(model: &FileModel, out: &mut Vec<Violation>) {
+    if !rule_in_scope("NF-LEDGER-001", model) {
         return;
     }
+    let toks = &model.toks;
     // Any identifier mentioning the ledger counts as a booking site:
     // `ledger`, `ledgers[i]`, `EnergyLedger::open`, ...
-    let ledger_lines: BTreeSet<u32> = ctx
-        .toks
+    let ledger_lines: BTreeSet<u32> = toks
         .iter()
         .filter(|t| t.kind == TokKind::Ident && t.text.to_ascii_lowercase().contains("ledger"))
         .map(|t| t.line)
         .collect();
-    let mut hits = Vec::new();
-    for i in 1..ctx.toks.len() {
-        let Some(tok) = ctx.toks.get(i) else { break };
+    for i in 1..toks.len() {
+        let Some(tok) = toks.get(i) else { break };
         if tok.kind != TokKind::Ident || !LEDGER_METHODS.contains(&tok.text.as_str()) {
             continue;
         }
-        let dotted = ctx.toks.get(i - 1).is_some_and(|t| t.is_punct('.'));
-        let called = ctx.toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        let dotted = toks.get(i - 1).is_some_and(|t| t.is_punct('.'));
+        let called = toks.get(i + 1).is_some_and(|t| t.is_punct('('));
         if !(dotted && called) {
             continue;
         }
@@ -534,16 +458,163 @@ fn check_ledger(ctx: &mut FileCtx<'_>) {
             .next()
             .is_some();
         if !near_ledger {
-            hits.push((tok.line, tok.text.clone()));
+            let msg = format!(
+                "`.{}()` moves energy without booking it in the ledger",
+                tok.text
+            );
+            push_violation(out, model, "NF-LEDGER-001", tok.line, tok.text.clone(), msg);
         }
     }
-    for (line, name) in hits {
-        ctx.push(
-            "NF-LEDGER-001",
-            line,
-            format!("`.{name}()` moves energy without booking it in the ledger"),
-        );
+}
+
+// --- the two-phase driver ------------------------------------------------
+
+/// Result of analysing a set of sources, before any baseline is
+/// applied.
+struct Analysis {
+    files_checked: usize,
+    violations: Vec<Violation>,
+    warnings: Vec<String>,
+    file_allow_used: Vec<bool>,
+    ident_allow_used: Vec<bool>,
+}
+
+/// Runs both passes and the waiver suppression layer over `files`
+/// (pairs of workspace-relative path and source text).
+fn analyze(files: &[(String, String)]) -> Analysis {
+    let mut models: Vec<FileModel> = Vec::new();
+    let mut inline: Vec<Vec<InlineAllow>> = Vec::new();
+    for (rel, source) in files {
+        let Some(class) = classify(rel) else { continue };
+        models.push(FileModel::build(rel, class, source));
+        // Directives inside test items can neither waive (test code is
+        // exempt) nor go stale — drop them before bookkeeping. The
+        // line ranges come from the *unstripped* token stream.
+        let test_lines = test_span_lines(&tokenize(source));
+        let mut allows = parse_allow_directives(source);
+        allows.retain(|a| !test_lines.iter().any(|&(s, e)| a.line >= s && a.line <= e));
+        inline.push(allows);
     }
+    let mut raw: Vec<Violation> = Vec::new();
+    for m in &models {
+        raw.extend(per_file_rules(m));
+    }
+    // Pass 2: the call graph, minus developer tooling crates.
+    let graph_models: Vec<FileModel> = models
+        .iter()
+        .filter(|m| !rules::TOOL_CRATES.contains(&m.class.crate_name.as_str()))
+        .cloned()
+        .collect();
+    let graph = CallGraph::build(&graph_models);
+    raw.extend(reach::panic_reachability(&graph_models, &graph));
+    raw.extend(reach::determinism_closure(&graph_models, &graph));
+    raw.extend(reach::nv_write_discipline(&graph_models, &graph));
+    raw.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.message.as_str(),
+        ))
+    });
+    // Suppression: inline directives, then identifier allowlist, then
+    // file allowlist — marking each waiver that fires.
+    let file_index: BTreeMap<&str, usize> = models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (m.rel.as_str(), i))
+        .collect();
+    let mut file_allow_used = vec![false; rules::FILE_ALLOWS.len()];
+    let mut ident_allow_used = vec![false; rules::IDENT_ALLOWS.len()];
+    let mut kept = Vec::new();
+    'violations: for v in raw {
+        if let Some(&fi) = file_index.get(v.path.as_str()) {
+            if let Some(allows) = inline.get_mut(fi) {
+                for a in allows.iter_mut() {
+                    if a.rule == v.rule && (a.line == v.line || a.line + 1 == v.line) {
+                        a.used = true;
+                        continue 'violations;
+                    }
+                }
+            }
+        }
+        for (ai, a) in rules::IDENT_ALLOWS.iter().enumerate() {
+            if a.rule == v.rule && a.ident == v.subject {
+                if let Some(slot) = ident_allow_used.get_mut(ai) {
+                    *slot = true;
+                }
+                continue 'violations;
+            }
+        }
+        for (ai, a) in rules::FILE_ALLOWS.iter().enumerate() {
+            if a.rule == v.rule && glob_matches(a.path, &v.path) {
+                if let Some(slot) = file_allow_used.get_mut(ai) {
+                    *slot = true;
+                }
+                continue 'violations;
+            }
+        }
+        kept.push(v);
+    }
+    // Stale inline directives: a waiver that fired on nothing.
+    let mut warnings = Vec::new();
+    for (m, allows) in models.iter().zip(&inline) {
+        for a in allows {
+            // Only audit ids with the real `NF-XXX-NNN` shape: prose
+            // that *mentions* the directive syntax with a placeholder
+            // id (`allow(...)`, `allow(NF-XXX-NNN)`) is documentation,
+            // not a waiver.
+            if !a.used && has_rule_id_shape(&a.rule) {
+                warnings.push(format!(
+                    "{}:{}: stale waiver: `neofog-lint: allow({})` matches no \
+                     violation site — remove it or fix the rule id",
+                    m.rel, a.line, a.rule
+                ));
+            }
+        }
+    }
+    Analysis {
+        files_checked: models.len(),
+        violations: kept,
+        warnings,
+        file_allow_used,
+        ident_allow_used,
+    }
+}
+
+/// Warnings for [`rules::FileAllow`] entries that waived nothing.
+pub(crate) fn stale_file_allow_warnings(allows: &[rules::FileAllow], used: &[bool]) -> Vec<String> {
+    allows
+        .iter()
+        .zip(used)
+        .filter(|(_, &u)| !u)
+        .map(|(a, _)| {
+            format!(
+                "stale waiver: rules.rs FILE_ALLOWS entry [{}] {} matches no \
+                 violation site — remove it",
+                a.rule, a.path
+            )
+        })
+        .collect()
+}
+
+/// Warnings for [`rules::IdentAllow`] entries that waived nothing.
+pub(crate) fn stale_ident_allow_warnings(
+    allows: &[rules::IdentAllow],
+    used: &[bool],
+) -> Vec<String> {
+    allows
+        .iter()
+        .zip(used)
+        .filter(|(_, &u)| !u)
+        .map(|(a, _)| {
+            format!(
+                "stale waiver: rules.rs IDENT_ALLOWS entry [{}] `{}` matches \
+                 no violation site — remove it",
+                a.rule, a.ident
+            )
+        })
+        .collect()
 }
 
 /// Outcome of linting a file tree.
@@ -551,8 +622,42 @@ fn check_ledger(ctx: &mut FileCtx<'_>) {
 pub struct LintReport {
     /// Number of files that were classified and scanned.
     pub files_checked: usize,
-    /// All diagnostics, ordered by path then line.
+    /// Non-waived, non-baselined diagnostics, ordered by path then
+    /// line.
     pub violations: Vec<Violation>,
+    /// Findings suppressed by the checked-in baseline.
+    pub baselined: usize,
+    /// Stale-waiver and stale-baseline warnings. Never fail the run,
+    /// but the workspace self-test keeps them at zero.
+    pub warnings: Vec<String>,
+}
+
+/// Lints a set of in-memory sources as one mini-workspace: both
+/// passes and the inline-waiver audit run; the `rules.rs` allowlist
+/// audit and the baseline do not (they are meaningful only against
+/// the real tree).
+#[must_use]
+pub fn lint_sources(files: &[(&str, &str)]) -> LintReport {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(rel, src)| ((*rel).to_string(), (*src).to_string()))
+        .collect();
+    let analysis = analyze(&owned);
+    LintReport {
+        files_checked: analysis.files_checked,
+        violations: analysis.violations,
+        baselined: 0,
+        warnings: analysis.warnings,
+    }
+}
+
+/// Lints one file's source text. `rel_path` decides which rules apply;
+/// unclassified paths produce no diagnostics. The graph rules see a
+/// one-file workspace, so cross-file reachability needs
+/// [`lint_sources`].
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    lint_sources(&[(rel_path, source)]).violations
 }
 
 /// Recursively collects `.rs` files under `dir` into `out` as paths
@@ -571,31 +676,66 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::
     Ok(())
 }
 
+fn lint_workspace_opts(root: &Path, apply_baseline: bool) -> std::io::Result<LintReport> {
+    let mut rels = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs_files(root, &dir, &mut rels)?;
+        }
+    }
+    rels.sort();
+    let mut files = Vec::new();
+    for rel in rels {
+        if classify(&rel).is_none() {
+            continue;
+        }
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        files.push((rel, source));
+    }
+    let analysis = analyze(&files);
+    let mut warnings = analysis.warnings;
+    warnings.extend(stale_file_allow_warnings(
+        rules::FILE_ALLOWS,
+        &analysis.file_allow_used,
+    ));
+    warnings.extend(stale_ident_allow_warnings(
+        rules::IDENT_ALLOWS,
+        &analysis.ident_allow_used,
+    ));
+    let (violations, baselined) = if apply_baseline {
+        let baseline = Baseline::load(&root.join(BASELINE_FILE))?;
+        baseline.apply(analysis.violations, &mut warnings)
+    } else {
+        (analysis.violations, 0)
+    };
+    Ok(LintReport {
+        files_checked: analysis.files_checked,
+        violations,
+        baselined,
+        warnings,
+    })
+}
+
 /// Lints the whole workspace rooted at `root` (`crates/*/src` plus the
-/// root package's `src/`).
+/// root package's `src/`), applying the checked-in baseline.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading files,
+/// or [`std::io::ErrorKind::InvalidData`] for a malformed baseline.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    lint_workspace_opts(root, true)
+}
+
+/// Like [`lint_workspace`] but without subtracting the baseline —
+/// the input for `cargo xtask lint --update-baseline`.
 ///
 /// # Errors
 ///
 /// Returns any I/O error encountered while walking or reading files.
-pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
-    let mut files = Vec::new();
-    for top in ["crates", "src"] {
-        let dir = root.join(top);
-        if dir.is_dir() {
-            collect_rs_files(root, &dir, &mut files)?;
-        }
-    }
-    files.sort();
-    let mut report = LintReport::default();
-    for rel in &files {
-        if classify(rel).is_none() {
-            continue;
-        }
-        let source = std::fs::read_to_string(root.join(rel))?;
-        report.files_checked += 1;
-        report.violations.extend(lint_source(rel, &source));
-    }
-    Ok(report)
+pub fn lint_workspace_unbaselined(root: &Path) -> std::io::Result<LintReport> {
+    lint_workspace_opts(root, false)
 }
 
 #[cfg(test)]
@@ -668,5 +808,72 @@ mod tests {
         let v = lint_source("crates/types/src/x.rs", src);
         assert_eq!(v.len(), 1);
         assert_eq!(v.first().map(|v| v.line), Some(3));
+    }
+
+    #[test]
+    fn unused_inline_allow_is_reported_stale() {
+        let clean = "// neofog-lint: allow(NF-PANIC-001) nothing here panics\nfn f() {}\n";
+        let report = lint_sources(&[("crates/types/src/x.rs", clean)]);
+        assert!(report.violations.is_empty());
+        assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+        assert!(
+            report
+                .warnings
+                .first()
+                .is_some_and(|w| w.contains("stale waiver") && w.contains("NF-PANIC-001")),
+            "{:?}",
+            report.warnings
+        );
+        // A used directive produces no warning.
+        let used = "// neofog-lint: allow(NF-PANIC-001) fixture\nfn f() { x.unwrap(); }\n";
+        let report = lint_sources(&[("crates/types/src/x.rs", used)]);
+        assert!(report.violations.is_empty());
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn doc_mentions_and_test_code_directives_are_not_audited() {
+        // Prose that shows the directive syntax with a placeholder id
+        // is documentation, not a waiver.
+        let doc = "/// Write `// neofog-lint: allow(NF-XXX-NNN)` to waive a site.\nfn f() {}\n";
+        let report = lint_sources(&[("crates/types/src/x.rs", doc)]);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        // A directive inside a test item waives nothing (the code is
+        // already exempt) and must not be flagged stale either.
+        let test_code = "#[cfg(test)]\nmod tests {\n    \
+             // neofog-lint: allow(NF-PANIC-001)\n    \
+             fn f() { x.unwrap(); }\n}\n";
+        let report = lint_sources(&[("crates/types/src/y.rs", test_code)]);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+    }
+
+    #[test]
+    fn allowlist_audits_flag_only_unused_entries() {
+        let allows = [
+            rules::FileAllow {
+                rule: "NF-PANIC-003",
+                path: "crates/a/src/x.rs",
+                reason: "",
+            },
+            rules::FileAllow {
+                rule: "NF-PANIC-003",
+                path: "crates/b/src/y.rs",
+                reason: "",
+            },
+        ];
+        let warnings = stale_file_allow_warnings(&allows, &[true, false]);
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings
+            .first()
+            .is_some_and(|w| w.contains("crates/b/src/y.rs")));
+
+        let idents = [rules::IdentAllow {
+            rule: "NF-UNIT-001",
+            ident: "initial_charge",
+            reason: "",
+        }];
+        assert!(stale_ident_allow_warnings(&idents, &[true]).is_empty());
+        assert_eq!(stale_ident_allow_warnings(&idents, &[false]).len(), 1);
     }
 }

@@ -424,4 +424,49 @@ mod tests {
         let after = toks.iter().find(|t| t.is_ident("after")).map(|t| t.line);
         assert_eq!(after, Some(4));
     }
+
+    #[test]
+    fn deeply_nested_block_comments_balance() {
+        let src = "a /* 1 /* 2 /* 3 unwrap() */ 2 */ 1 */ b /* unbalanced tail";
+        assert_eq!(idents(src), ["a", "b"], "depth counting, then EOF safety");
+    }
+
+    #[test]
+    fn raw_strings_with_many_hashes_skip_lesser_terminators() {
+        // A `"#` inside an `r##"..."##` body must not close it.
+        let src = r####"let s = r##"tail "# keeps going HashMap"##; after"####;
+        assert_eq!(idents(src), ["let", "s", "after"]);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_raw_strings_are_opaque() {
+        let src = r###"let a = b"unwrap \" esc"; let c = br#"panic "quote""#; end"###;
+        assert_eq!(idents(src), ["let", "a", "let", "c", "end"]);
+        let strs = tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .count();
+        assert_eq!(strs, 2, "both byte-string flavours lex as one Str");
+    }
+
+    #[test]
+    fn byte_char_literals_lex_as_chars() {
+        let toks = tokenize(r"let x = b'x'; let q = b'\''; let n = b'\n'; done");
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(chars, 3);
+        assert!(toks.iter().any(|t| t.is_ident("done")), "lexer resyncs");
+        assert!(
+            !toks.iter().any(|t| t.kind == TokKind::Lifetime),
+            "byte chars are never mistaken for lifetimes"
+        );
+    }
+
+    #[test]
+    fn lifetimes_in_bounds_positions_are_not_chars() {
+        let toks = tokenize("struct S<'a, 'b: 'a>(&'a str, &'b str); impl<'s> S<'s, 's> {}");
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 8);
+        assert_eq!(chars, 0);
+    }
 }

@@ -1,7 +1,8 @@
 //! CLI entry point for `cargo xtask`.
 
+use neofog_xtask::baseline::{Baseline, BASELINE_FILE};
 use neofog_xtask::rules::{self, Scope};
-use neofog_xtask::{lint_workspace, LintReport, Violation};
+use neofog_xtask::{lint_workspace, lint_workspace_unbaselined, sarif, LintReport, Violation};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -9,10 +10,12 @@ const USAGE: &str = "\
 usage: cargo xtask <command>
 
 commands:
-  lint [--json]   run the NEOFog static-analysis pass over the workspace
-  rules           print the rule table with rationales
+  lint [--json | --sarif]   run the NEOFog static-analysis pass over the workspace
+       [--update-baseline]  rewrite lint-baseline.json from the current findings
+       [--explain NF-X-NNN] print one rule's summary, rationale and scope
+  rules                     print the rule table with rationales
 
-exit status: 0 clean, 1 violations found, 2 usage or I/O error";
+exit status: 0 clean, 1 violations found, 2 usage / unknown rule / I/O error";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,16 +23,34 @@ fn main() -> ExitCode {
     match it.next() {
         Some("lint") => {
             let mut json = false;
-            for flag in it {
+            let mut sarif_out = false;
+            let mut update_baseline = false;
+            let mut explain: Option<&str> = None;
+            while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
+                    "--sarif" => sarif_out = true,
+                    "--update-baseline" => update_baseline = true,
+                    "--explain" => {
+                        let Some(id) = it.next() else {
+                            eprintln!("--explain needs a rule id\n{USAGE}");
+                            return ExitCode::from(2);
+                        };
+                        explain = Some(id);
+                    }
                     other => {
                         eprintln!("unknown flag `{other}`\n{USAGE}");
                         return ExitCode::from(2);
                     }
                 }
             }
-            run_lint(json)
+            if let Some(id) = explain {
+                return explain_rule(id);
+            }
+            if update_baseline {
+                return run_update_baseline();
+            }
+            run_lint(json, sarif_out)
         }
         Some("rules") => {
             print_rules();
@@ -60,16 +81,21 @@ fn workspace_root() -> PathBuf {
         .map_or(manifest.clone(), PathBuf::from)
 }
 
-fn run_lint(json: bool) -> ExitCode {
+fn run_lint(json: bool, sarif_out: bool) -> ExitCode {
     let root = workspace_root();
     let report = match lint_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("xtask lint: I/O error: {e}");
+            eprintln!("xtask lint: {e}");
             return ExitCode::from(2);
         }
     };
-    if json {
+    if sarif_out {
+        println!("{}", sarif::render(&report));
+        for w in &report.warnings {
+            eprintln!("warning: {w}");
+        }
+    } else if json {
         println!("{}", render_json(&report));
     } else {
         render_text(&report);
@@ -81,6 +107,51 @@ fn run_lint(json: bool) -> ExitCode {
     }
 }
 
+fn run_update_baseline() -> ExitCode {
+    let root = workspace_root();
+    let report = match lint_workspace_unbaselined(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = Baseline::from_violations(&report.violations);
+    let path = root.join(BASELINE_FILE);
+    if let Err(e) = std::fs::write(&path, baseline.render()) {
+        eprintln!("xtask lint: cannot write {}: {e}", path.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "xtask lint: wrote {} waiving {} finding(s); review the diff before committing",
+        path.display(),
+        baseline.total()
+    );
+    ExitCode::SUCCESS
+}
+
+fn explain_rule(id: &str) -> ExitCode {
+    let Some(rule) = rules::rule_by_id(id) else {
+        eprintln!(
+            "unknown rule `{id}`; `cargo xtask rules` lists the {} known rules",
+            rules::RULES.len()
+        );
+        return ExitCode::from(2);
+    };
+    println!("{}  [{}]", rule.id, scope_text(rule.scope));
+    println!("  {}", rule.summary);
+    println!("  why: {}", rule.rationale);
+    ExitCode::SUCCESS
+}
+
+fn scope_text(scope: Scope) -> String {
+    match scope {
+        Scope::Library => "library code".to_string(),
+        Scope::SimCrates => "sim crates (core, energy, net, nvp, rf)".to_string(),
+        Scope::File(p) | Scope::Glob(p) => p.to_string(),
+    }
+}
+
 fn render_text(report: &LintReport) {
     for v in &report.violations {
         let summary = rules::rule_by_id(v.rule).map_or("", |r| r.summary);
@@ -88,21 +159,30 @@ fn render_text(report: &LintReport) {
             "{}:{}: [{}] {} — {}",
             v.path, v.line, v.rule, v.message, summary
         );
+        if v.chain.len() > 1 {
+            println!("    via {}", v.chain.join(" → "));
+        }
+    }
+    for w in &report.warnings {
+        println!("warning: {w}");
     }
     if report.violations.is_empty() {
         println!(
-            "xtask lint: OK ({} files, {} rules)",
+            "xtask lint: OK ({} files, {} rules, {} baselined finding(s), {} warning(s))",
             report.files_checked,
-            rules::RULES.len()
+            rules::RULES.len(),
+            report.baselined,
+            report.warnings.len()
         );
     } else {
         let files: std::collections::BTreeSet<&str> =
             report.violations.iter().map(|v| v.path.as_str()).collect();
         println!(
-            "xtask lint: {} violation(s) in {} file(s) ({} files checked)",
+            "xtask lint: {} violation(s) in {} file(s) ({} files checked, {} baselined)",
             report.violations.len(),
             files.len(),
-            report.files_checked
+            report.files_checked,
+            report.baselined
         );
     }
 }
@@ -112,9 +192,10 @@ fn render_text(report: &LintReport) {
 fn render_json(report: &LintReport) -> String {
     let mut s = String::from("{");
     s.push_str(&format!(
-        "\"ok\":{},\"files_checked\":{},\"violations\":[",
+        "\"ok\":{},\"files_checked\":{},\"baselined\":{},\"violations\":[",
         report.violations.is_empty(),
-        report.files_checked
+        report.files_checked,
+        report.baselined
     ));
     for (i, v) in report.violations.iter().enumerate() {
         if i > 0 {
@@ -122,49 +203,42 @@ fn render_json(report: &LintReport) -> String {
         }
         s.push_str(&render_violation(v));
     }
+    s.push_str("],\"warnings\":[");
+    for (i, w) in report.warnings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&sarif::json_str(w));
+    }
     s.push_str("]}");
     s
 }
 
 fn render_violation(v: &Violation) -> String {
+    let chain = v
+        .chain
+        .iter()
+        .map(|c| sarif::json_str(c))
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
-        json_str(v.rule),
-        json_str(&v.path),
+        "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"chain\":[{}]}}",
+        sarif::json_str(v.rule),
+        sarif::json_str(&v.path),
         v.line,
-        json_str(&v.message)
+        sarif::json_str(&v.message),
+        chain
     )
-}
-
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 fn print_rules() {
     for r in rules::RULES {
-        let scope = match r.scope {
-            Scope::Library => "library code".to_string(),
-            Scope::SimCrates => "sim crates (core, energy, net, nvp, rf)".to_string(),
-            Scope::File(p) => p.to_string(),
-            Scope::Glob(p) => p.to_string(),
-        };
         println!(
             "{}  [{}]\n  {}\n  why: {}\n",
-            r.id, scope, r.summary, r.rationale
+            r.id,
+            scope_text(r.scope),
+            r.summary,
+            r.rationale
         );
     }
     println!("file exemptions:");

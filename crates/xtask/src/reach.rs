@@ -1,0 +1,263 @@
+//! Pass 2: transitive rules over the workspace call graph.
+//!
+//! Three rule families live here, all sharing the [`CallGraph`] built
+//! from the parsed item models:
+//!
+//! * **NF-REACH-001** — forward reachability from the slot-loop phase
+//!   functions (`crates/core/src/sim/*.rs`): any panic site (`unwrap`,
+//!   `expect`, panic-family macros, slice indexing) in a function the
+//!   slot loop can reach is reported with the call chain.
+//! * **NF-DET-004** — the determinism closure: a *non-sim* helper
+//!   reachable from sim-crate code may not use wall clocks, hash
+//!   collections or foreign RNGs, even though the per-file NF-DET
+//!   rules do not scope to its crate.
+//! * **NF-NV-001** — NV write discipline: fields of the NV-state
+//!   structs may only be mutated from the NV type's own methods or
+//!   from commit/checkpoint/restore/ledger-phase functions; a mutator
+//!   reachable from an undisciplined entry point is reported with the
+//!   chain from that entry point.
+//!
+//! Diagnostics deliberately omit line numbers from their messages so
+//! the baseline stays stable as code drifts; the line lives in the
+//! [`Violation::line`] field, the chain in [`Violation::chain`].
+
+use crate::engine::{
+    det_ident_sites, glob_matches, indexing_sites, panic_macro_sites, panic_method_sites, Violation,
+};
+use crate::graph::CallGraph;
+use crate::lexer::{Tok, TokKind};
+use crate::parser::FileModel;
+use crate::rules;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// NF-REACH-001: panic sites transitively reachable from the slot
+/// loop.
+pub(crate) fn panic_reachability(models: &[FileModel], graph: &CallGraph) -> Vec<Violation> {
+    let entries: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(id, n)| {
+            let rel = models.get(n.file).map(|m| m.rel.as_str())?;
+            glob_matches(rules::REACH_ENTRY_GLOB, rel).then_some(id)
+        })
+        .collect();
+    let reach = graph.reach_forward(&entries);
+    let mut out = Vec::new();
+    for (id, n) in graph.nodes.iter().enumerate() {
+        if !reach.visited(id) {
+            continue;
+        }
+        let Some(m) = models.get(n.file) else {
+            continue;
+        };
+        if !m.class.is_library {
+            continue;
+        }
+        let chain = graph.chain(&reach, id);
+        let mut push = |line: u32, what: String, subject: String| {
+            out.push(Violation {
+                rule: "NF-REACH-001",
+                path: m.rel.clone(),
+                line,
+                message: format!("`{}` {what} and is reachable from the slot loop", n.display),
+                subject,
+                chain: chain.clone(),
+            });
+        };
+        for (line, name) in panic_method_sites(&m.toks, n.body.clone()) {
+            let what = format!("calls `.{name}()`");
+            push(line, what, name);
+        }
+        for (line, name) in panic_macro_sites(&m.toks, n.body.clone()) {
+            let what = format!("invokes `{name}!`");
+            push(line, what, name);
+        }
+        for line in indexing_sites(&m.toks, n.body.clone()) {
+            push(line, "indexes into a slice".to_string(), String::new());
+        }
+    }
+    out
+}
+
+/// NF-DET-004: nondeterminism in non-sim helpers reachable from
+/// simulation code.
+pub(crate) fn determinism_closure(models: &[FileModel], graph: &CallGraph) -> Vec<Violation> {
+    let entries: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(id, n)| {
+            models
+                .get(n.file)
+                .is_some_and(|m| m.class.is_sim)
+                .then_some(id)
+        })
+        .collect();
+    let reach = graph.reach_forward(&entries);
+    let mut out = Vec::new();
+    for (id, n) in graph.nodes.iter().enumerate() {
+        if !reach.visited(id) {
+            continue;
+        }
+        let Some(m) = models.get(n.file) else {
+            continue;
+        };
+        // The per-file NF-DET rules already cover sim crates; the
+        // closure adds only what they cannot see. Binaries stay
+        // exempt just as they are from the per-file rules.
+        if m.class.is_sim || !m.class.is_library {
+            continue;
+        }
+        let chain = graph.chain(&reach, id);
+        for (_, line, name, what) in det_ident_sites(&m.toks, n.body.clone()) {
+            out.push(Violation {
+                rule: "NF-DET-004",
+                path: m.rel.clone(),
+                line,
+                message: format!(
+                    "`{}` uses {what} `{name}` and is called from simulation code",
+                    n.display
+                ),
+                subject: name,
+                chain: chain.clone(),
+            });
+        }
+    }
+    out
+}
+
+/// `true` when the token at `k` starts an assignment operator: `=`
+/// (not `==`/`=>`), a compound op (`+=`, `&=`, ...), or a shift
+/// assignment (`<<=`, `>>=`).
+fn is_assign_op(toks: &[Tok], k: usize) -> bool {
+    let Some(t) = toks.get(k) else { return false };
+    let next_eq = toks.get(k + 1).is_some_and(|x| x.is_punct('='));
+    if t.is_punct('=') {
+        let next_gt = toks.get(k + 1).is_some_and(|x| x.is_punct('>'));
+        return !next_eq && !next_gt;
+    }
+    if ['+', '-', '*', '/', '%', '&', '|', '^']
+        .iter()
+        .any(|&op| t.is_punct(op))
+    {
+        return next_eq;
+    }
+    let same_again = (t.is_punct('<') && toks.get(k + 1).is_some_and(|x| x.is_punct('<')))
+        || (t.is_punct('>') && toks.get(k + 1).is_some_and(|x| x.is_punct('>')));
+    same_again && toks.get(k + 2).is_some_and(|x| x.is_punct('='))
+}
+
+/// NF-NV-001: NV-state fields mutated outside the commit discipline.
+pub(crate) fn nv_write_discipline(models: &[FileModel], graph: &CallGraph) -> Vec<Violation> {
+    // Field tables: which NV structs own each field name, and whether
+    // any non-NV struct anywhere in the workspace also declares it
+    // (in which case a `receiver.field = ...` with an unknown
+    // receiver type is ambiguous and skipped).
+    let mut nv_fields: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut non_nv_fields: BTreeSet<&str> = BTreeSet::new();
+    for m in models {
+        let is_nv_crate = rules::NV_CRATES.contains(&m.class.crate_name.as_str());
+        for s in &m.parsed.structs {
+            let is_nv = is_nv_crate && rules::NV_STATE_STRUCTS.contains(&s.name.as_str());
+            for f in &s.fields {
+                if is_nv {
+                    nv_fields
+                        .entry(f.as_str())
+                        .or_default()
+                        .insert(s.name.as_str());
+                } else {
+                    non_nv_fields.insert(f.as_str());
+                }
+            }
+        }
+    }
+    if nv_fields.is_empty() {
+        return Vec::new();
+    }
+    let sanctioned = |id: usize| -> bool {
+        graph.nodes.get(id).is_some_and(|n| {
+            n.self_ty
+                .as_deref()
+                .is_some_and(|ty| rules::NV_STATE_STRUCTS.contains(&ty))
+                || rules::NV_COMMIT_MARKERS.iter().any(|m| n.name.contains(m))
+        })
+    };
+    let mut out = Vec::new();
+    for (id, n) in graph.nodes.iter().enumerate() {
+        if sanctioned(id) {
+            continue;
+        }
+        let Some(m) = models.get(n.file) else {
+            continue;
+        };
+        if !m.class.is_library {
+            continue;
+        }
+        // Collect NV-field writes in this function's body.
+        let mut writes: Vec<(u32, &str, &str)> = Vec::new(); // (line, struct, field)
+        for j in n.body.clone() {
+            let Some(dot) = m.toks.get(j) else { continue };
+            if !dot.is_punct('.') {
+                continue;
+            }
+            let Some(field_tok) = m.toks.get(j + 1).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            if !is_assign_op(&m.toks, j + 2) {
+                continue;
+            }
+            let field = field_tok.text.as_str();
+            let Some(owners) = nv_fields.get(field) else {
+                continue;
+            };
+            let receiver_is_self = j
+                .checked_sub(1)
+                .and_then(|p| m.toks.get(p))
+                .is_some_and(|t| t.is_ident("self"));
+            let owner = if receiver_is_self {
+                // `self.field = ...`: NV only when the enclosing impl
+                // is an NV type that really has this field.
+                n.self_ty.as_deref().filter(|ty| owners.contains(ty))
+            } else if non_nv_fields.contains(field) {
+                // Some volatile struct shares the name (e.g.
+                // SoftwareRf::config): receiver type unknown, skip.
+                None
+            } else {
+                owners.iter().next().copied()
+            };
+            if let Some(owner) = owner {
+                writes.push((field_tok.line, owner, field));
+            }
+        }
+        if writes.is_empty() {
+            continue;
+        }
+        // The mutator is unsanctioned. It is a violation only if an
+        // *undisciplined* entry point (a function with no workspace
+        // callers) can reach it without passing through sanctioned
+        // code.
+        let back = graph.reach_backward(&[id], |c| !sanctioned(c));
+        let root = (0..graph.nodes.len())
+            .find(|&c| back.visited(c) && graph.callers.get(c).is_some_and(Vec::is_empty));
+        let Some(root) = root else {
+            continue; // every path to the mutator is commit-disciplined
+        };
+        let mut chain = graph.chain(&back, root);
+        chain.reverse(); // reach_backward chains run mutator -> root
+        for (line, owner, field) in writes {
+            out.push(Violation {
+                rule: "NF-NV-001",
+                path: m.rel.clone(),
+                line,
+                message: format!(
+                    "`{}` writes NV field `{owner}.{field}` outside the commit discipline",
+                    n.display
+                ),
+                subject: field.to_string(),
+                chain: chain.clone(),
+            });
+        }
+    }
+    out
+}

@@ -2,15 +2,34 @@
 //!
 //! Every NEOFog-specific invariant the lint pass enforces is listed
 //! here with a stable rule ID, the scope it applies to, and a
-//! rationale. Exemptions live in the two allowlists below — never
-//! inline in the engine — so a reviewer can audit the complete policy
-//! in one file. Individual sites can also be waived in source with
+//! rationale. The families:
+//!
+//! | family        | rules                         | phase                 |
+//! |---------------|-------------------------------|-----------------------|
+//! | `NF-UNIT`     | 001                           | per-file token scan   |
+//! | `NF-DET`      | 001–003 per-file, 004 closure | scan + call graph     |
+//! | `NF-PANIC`    | 001–003                       | per-file token scan   |
+//! | `NF-LEDGER`   | 001                           | per-file token scan   |
+//! | `NF-REACH`    | 001                           | call graph            |
+//! | `NF-NV`       | 001                           | call graph            |
+//!
+//! The per-file rules run in pass 1 on each file's token stream; the
+//! graph rules run in pass 2 over the whole-workspace call graph built
+//! by [`crate::graph`] and print the offending call chain in their
+//! diagnostics. Exemptions live in the allowlists below — never inline
+//! in the engine — so a reviewer can audit the complete policy in one
+//! file, and the engine warns about any entry that no longer waives a
+//! real site. Individual sites can also be waived in source with
 //!
 //! ```text
 //! // neofog-lint: allow(NF-XXX-NNN) one-line justification
 //! ```
 //!
-//! on the offending line or the line directly above it.
+//! on the offending line or the line directly above it. Pre-existing
+//! findings of the graph rules are recorded in `lint-baseline.json` at
+//! the workspace root (regenerate with `cargo xtask lint
+//! --update-baseline`); anything not in the baseline fails the run.
+//! `cargo xtask lint --explain NF-XXX-NNN` prints one rule's entry.
 
 /// Which files a rule applies to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +118,40 @@ pub const RULES: &[Rule] = &[
         scope: Scope::Library,
     },
     Rule {
+        id: "NF-DET-004",
+        summary: "non-sim helper reachable from simulation code is nondeterministic",
+        rationale: "the determinism closure: NF-DET-001/002/003 cover the sim \
+                    crates directly, but a sim-crate function calling a helper \
+                    in types/workloads/sensors that reads a wall clock or \
+                    iterates a hash map is just as irreproducible; the call \
+                    graph extends the ban transitively and the diagnostic \
+                    prints the offending chain",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-REACH-001",
+        summary: "panic site transitively reachable from the slot loop",
+        rationale: "a fleet sweep runs thousands of simulations through the \
+                    phase functions in crates/core/src/sim/*.rs; any \
+                    unwrap/expect/panic!/indexing in a function the slot loop \
+                    can reach — at any call depth — aborts them all, so the \
+                    per-call-site NF-PANIC waivers are not enough on the hot \
+                    path; the diagnostic prints the call chain from the phase \
+                    function to the site",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-NV-001",
+        summary: "NV-state field written outside commit/ledger discipline",
+        rationale: "NEOFog's correctness across power failure (§3) rests on \
+                    nonvolatile state (NvBuffer, NvRf, RfConfig) changing only \
+                    under the commit discipline: methods of the NV type itself \
+                    or commit/checkpoint/restore/ledger-phase functions; a \
+                    stray field write reachable from an undisciplined entry \
+                    point could tear NVP/NVRF state mid-power-cycle",
+        scope: Scope::Library,
+    },
+    Rule {
         id: "NF-LEDGER-001",
         summary: "energy debit/credit bypasses the conservation ledger",
         rationale: "every charge/discharge/leak/spend in the slot loop must be \
@@ -171,11 +224,6 @@ pub const FILE_ALLOWS: &[FileAllow] = &[
     },
     FileAllow {
         rule: "NF-PANIC-003",
-        path: "crates/workloads/src/pipeline.rs",
-        reason: "stage table indexed by stage count it defines",
-    },
-    FileAllow {
-        rule: "NF-PANIC-003",
         path: "crates/core/src/balance/dp.rs",
         reason: "DP table kernel; indices bounded by the table dimensions it allocates",
     },
@@ -191,23 +239,8 @@ pub const FILE_ALLOWS: &[FileAllow] = &[
     },
     FileAllow {
         rule: "NF-PANIC-003",
-        path: "crates/core/src/balance/mod.rs",
-        reason: "chain neighbour access bounded by chain length",
-    },
-    FileAllow {
-        rule: "NF-PANIC-003",
         path: "crates/core/src/sim/*.rs",
         reason: "phase functions loop over per-node vectors all sized to the node count",
-    },
-    FileAllow {
-        rule: "NF-PANIC-003",
-        path: "crates/core/src/metrics.rs",
-        reason: "per-node counter vectors sized to the node count",
-    },
-    FileAllow {
-        rule: "NF-PANIC-003",
-        path: "crates/core/src/timeline.rs",
-        reason: "slot-series access bounded by the recorded length",
     },
     FileAllow {
         rule: "NF-PANIC-003",
@@ -253,11 +286,6 @@ pub const FILE_ALLOWS: &[FileAllow] = &[
         rule: "NF-PANIC-003",
         path: "crates/nvp/src/spendthrift.rs",
         reason: "frequency-level table of fixed paper-given size",
-    },
-    FileAllow {
-        rule: "NF-PANIC-003",
-        path: "crates/sensors/src/signal.rs",
-        reason: "sample-window kernel bounded by the window it allocates",
     },
     FileAllow {
         rule: "NF-PANIC-003",
@@ -359,6 +387,30 @@ pub const LEDGER_METHODS: &[&str] = &[
     "leak",
     "spend",
 ];
+
+/// Files whose functions are the NF-REACH-001 entry points: the slot
+/// loop's phase modules.
+pub const REACH_ENTRY_GLOB: &str = "crates/core/src/sim/*.rs";
+
+/// Structs whose fields are nonvolatile state under the NF-NV-001
+/// write discipline. They must be declared in one of [`NV_CRATES`];
+/// same-named structs elsewhere (e.g. the volatile `SoftwareRf`) are
+/// not NV.
+pub const NV_STATE_STRUCTS: &[&str] = &["NvBuffer", "NvRf", "RfConfig"];
+
+/// Crates that may declare NV-state structs.
+pub const NV_CRATES: &[&str] = &["nvp", "rf"];
+
+/// Name fragments that mark a function as part of the sanctioned
+/// commit discipline for NV writes (besides methods of the NV types
+/// themselves).
+pub const NV_COMMIT_MARKERS: &[&str] = &["commit", "checkpoint", "restore", "ledger"];
+
+/// Crates excluded from the call graph: developer tooling that is
+/// never linked into a simulator binary, so reachability through it
+/// is meaningless (and its conservative method-name edges would only
+/// add noise).
+pub const TOOL_CRATES: &[&str] = &["xtask", "alloc-probe"];
 
 /// Looks up a rule by ID.
 #[must_use]

@@ -1,0 +1,124 @@
+//! SARIF 2.1.0 rendering of a lint report.
+//!
+//! `cargo xtask lint --sarif` emits a minimal static-analysis results
+//! interchange file: one run, one driver (`neofog-xtask`), the full
+//! rule table under `tool.driver.rules`, and one `result` per
+//! non-baselined violation with its file/line location. Call chains
+//! from the graph rules are appended to the result message, since the
+//! plain SARIF location model has no good slot for them. CI uploads
+//! the file as a workflow artifact.
+//!
+//! Everything is hand-rolled JSON — the workspace builds offline with
+//! no serde backend — via [`json_str`], which the other emitters in
+//! this crate share.
+
+use crate::engine::LintReport;
+use crate::rules;
+
+/// Escapes `s` as a JSON string literal (with the surrounding
+/// quotes).
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders `report` as a SARIF 2.1.0 document.
+#[must_use]
+pub fn render(report: &LintReport) -> String {
+    let mut s = String::from(
+        "{\"version\":\"2.1.0\",\
+         \"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"runs\":[{\"tool\":{\"driver\":{\"name\":\"neofog-xtask\",\
+         \"informationUri\":\"https://github.com/neofog/neofog\",\"rules\":[",
+    );
+    for (i, r) in rules::RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+             \"fullDescription\":{{\"text\":{}}}}}",
+            json_str(r.id),
+            json_str(r.summary),
+            json_str(r.rationale)
+        ));
+    }
+    s.push_str("]}},\"results\":[");
+    for (i, v) in report.violations.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let mut text = v.message.clone();
+        if v.chain.len() > 1 {
+            text.push_str(" [call chain: ");
+            text.push_str(&v.chain.join(" -> "));
+            text.push(']');
+        }
+        s.push_str(&format!(
+            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+             {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+            json_str(v.rule),
+            json_str(&text),
+            json_str(&v.path),
+            v.line
+        ));
+    }
+    s.push_str("]}]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Violation;
+
+    #[test]
+    fn sarif_document_has_rules_results_and_chains() {
+        let report = LintReport {
+            files_checked: 1,
+            violations: vec![Violation {
+                rule: "NF-REACH-001",
+                path: "crates/core/src/x.rs".to_string(),
+                line: 7,
+                message: "`core::f` indexes into a slice".to_string(),
+                subject: String::new(),
+                chain: vec!["core::entry".to_string(), "core::f".to_string()],
+            }],
+            baselined: 0,
+            warnings: Vec::new(),
+        };
+        let doc = render(&report);
+        assert!(doc.contains("\"version\":\"2.1.0\""));
+        assert!(doc.contains("\"name\":\"neofog-xtask\""));
+        assert!(doc.contains("\"ruleId\":\"NF-REACH-001\""));
+        assert!(doc.contains("\"startLine\":7"));
+        assert!(doc.contains("core::entry -> core::f"));
+        // Every rule in the table is described.
+        for r in rules::RULES {
+            assert!(doc.contains(&format!("\"id\":\"{}\"", r.id)), "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn json_strings_escape_quotes_and_control_characters() {
+        assert_eq!(json_str("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_str("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_str("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_str("a\u{1}b"), "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,155 @@
+//! Call-graph resolution over a fixture mini-workspace: cycles,
+//! method resolution through a single impl, cross-crate free calls,
+//! and the assume-reachable fallback for dynamic dispatch (a method
+//! name with several impls resolves to *all* of them).
+
+use neofog_xtask::classify;
+use neofog_xtask::graph::CallGraph;
+use neofog_xtask::parser::FileModel;
+
+fn models(files: &[(&str, &str)]) -> Vec<FileModel> {
+    files
+        .iter()
+        .map(|(rel, src)| {
+            let class = classify(rel).expect("fixture path must classify");
+            FileModel::build(rel, class, src)
+        })
+        .collect()
+}
+
+#[test]
+fn cycles_terminate_and_both_members_are_reachable() {
+    let m = models(&[(
+        "crates/core/src/cycle.rs",
+        "pub fn ping(n: u32) -> u32 { if n == 0 { 0 } else { pong(n - 1) } }\n\
+         pub fn pong(n: u32) -> u32 { if n == 0 { 1 } else { ping(n - 1) } }\n",
+    )]);
+    let g = CallGraph::build(&m);
+    let ping = g.find("core::ping").expect("ping node");
+    let pong = g.find("core::pong").expect("pong node");
+    let reach = g.reach_forward(&[ping]);
+    assert!(reach.visited(ping) && reach.visited(pong), "a -> b -> a");
+    // The chain to the cycle partner is the direct edge, not a lap
+    // around the loop.
+    assert_eq!(g.chain(&reach, pong), vec!["core::ping", "core::pong"]);
+}
+
+#[test]
+fn methods_resolve_through_their_single_impl() {
+    let m = models(&[(
+        "crates/core/src/widget.rs",
+        "pub struct Widget { count: u32 }\n\
+         impl Widget {\n\
+             pub fn bump(&mut self) { self.count += 1; }\n\
+         }\n\
+         pub fn tick(w: &mut Widget) { w.bump(); }\n",
+    )]);
+    let g = CallGraph::build(&m);
+    let tick = g.find("core::tick").expect("tick node");
+    let bump = g.find("core::Widget::bump").expect("bump node");
+    let reach = g.reach_forward(&[tick]);
+    assert!(reach.visited(bump), "`.bump()` resolves to the one impl");
+    assert_eq!(
+        g.chain(&reach, bump),
+        vec!["core::tick", "core::Widget::bump"]
+    );
+}
+
+#[test]
+fn free_calls_fall_back_across_crates() {
+    let m = models(&[
+        (
+            "crates/core/src/caller.rs",
+            "pub fn drive() { remote_kernel(); }\n",
+        ),
+        (
+            "crates/workloads/src/kernel.rs",
+            "pub fn remote_kernel() {}\n",
+        ),
+    ]);
+    let g = CallGraph::build(&m);
+    let drive = g.find("core::drive").expect("drive node");
+    let kernel = g.find("workloads::remote_kernel").expect("kernel node");
+    let reach = g.reach_forward(&[drive]);
+    assert!(
+        reach.visited(kernel),
+        "no same-crate candidate -> fall back"
+    );
+}
+
+#[test]
+fn same_crate_candidates_shadow_cross_crate_ones() {
+    // Two crates define `helper`; a bare call resolves to the caller's
+    // own crate only.
+    let m = models(&[
+        (
+            "crates/core/src/caller.rs",
+            "pub fn drive() { helper(); }\npub fn helper() {}\n",
+        ),
+        ("crates/workloads/src/other.rs", "pub fn helper() {}\n"),
+    ]);
+    let g = CallGraph::build(&m);
+    let drive = g.find("core::drive").expect("drive node");
+    let near = g.find("core::helper").expect("near node");
+    let far = g.find("workloads::helper").expect("far node");
+    let reach = g.reach_forward(&[drive]);
+    assert!(reach.visited(near), "same-crate helper is the target");
+    assert!(
+        !reach.visited(far),
+        "cross-crate namesake is not dragged in"
+    );
+}
+
+#[test]
+fn dynamic_dispatch_assumes_every_impl_reachable() {
+    // `h.step()` on an unknown receiver: the graph cannot type the
+    // receiver, so the call conservatively reaches every `step` —
+    // both impls and the trait's default method.
+    let m = models(&[(
+        "crates/core/src/dispatch.rs",
+        "pub trait Runner {\n\
+             fn step(&mut self) { }\n\
+         }\n\
+         pub struct Fast;\n\
+         impl Runner for Fast { fn step(&mut self) {} }\n\
+         pub struct Slow;\n\
+         impl Runner for Slow { fn step(&mut self) {} }\n\
+         pub fn drive(h: &mut dyn Runner) { h.step(); }\n",
+    )]);
+    let g = CallGraph::build(&m);
+    let drive = g.find("core::drive").expect("drive node");
+    let fast = g.find("core::Fast::step").expect("Fast::step node");
+    let slow = g.find("core::Slow::step").expect("Slow::step node");
+    let default = g.find("core::Runner::step").expect("trait default node");
+    let reach = g.reach_forward(&[drive]);
+    assert!(
+        reach.visited(fast) && reach.visited(slow) && reach.visited(default),
+        "all three `step` definitions are assumed reachable"
+    );
+}
+
+#[test]
+fn reverse_reachability_honours_the_enter_predicate() {
+    // a -> b -> c: walking back from c, refusing to expand through b,
+    // must stop before a.
+    let m = models(&[(
+        "crates/core/src/back.rs",
+        "pub fn a() { b(); }\n\
+         pub fn b() { c(); }\n\
+         pub fn c() {}\n",
+    )]);
+    let g = CallGraph::build(&m);
+    let a = g.find("core::a").expect("a");
+    let b = g.find("core::b").expect("b");
+    let c = g.find("core::c").expect("c");
+    let all = g.reach_backward(&[c], |_| true);
+    assert!(all.visited(a) && all.visited(b));
+    // The chain reads entry-first: c discovered b discovered a.
+    assert_eq!(g.chain(&all, a), vec!["core::c", "core::b", "core::a"]);
+    let gated = g.reach_backward(&[c], |id| id != b);
+    assert!(gated.visited(c), "start nodes are always visited");
+    assert!(
+        !gated.visited(b) && !gated.visited(a),
+        "a rejected node is never entered, so nothing beyond it is either"
+    );
+}

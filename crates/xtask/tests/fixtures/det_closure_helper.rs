@@ -1,0 +1,16 @@
+//! NF-DET-004 fixture, hops 1 and 2: helpers in a non-sim crate where
+//! the per-file NF-DET rules do not apply. `scramble_fixture` uses a
+//! hash map — fine for offline tooling, a determinism hole once
+//! simulation code can reach it through `encode_batch_fixture`.
+
+pub fn encode_batch_fixture(frames: &[Frame]) -> Vec<u8> {
+    scramble_fixture(frames)
+}
+
+pub fn scramble_fixture(frames: &[Frame]) -> Vec<u8> {
+    let mut seen = std::collections::HashMap::new();
+    for f in frames {
+        seen.insert(f.id, f.len);
+    }
+    seen.into_values().collect()
+}

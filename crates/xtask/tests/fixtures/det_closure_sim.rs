@@ -1,0 +1,6 @@
+//! NF-DET-004 fixture, hop 0: a sim-crate function (deterministic by
+//! the per-file rules) calling into a non-sim helper crate.
+
+pub fn schedule_phase_fixture(frames: &[Frame]) -> Vec<u8> {
+    encode_batch_fixture(frames)
+}

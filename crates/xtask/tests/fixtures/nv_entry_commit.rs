@@ -1,0 +1,6 @@
+//! NF-NV fixture entry, negative case: the only path to the mutator
+//! goes through a commit-phase function, so the write is disciplined.
+
+pub fn commit_slot_fixture(buf: &mut NvBuffer) {
+    zero_buffers_fixture(buf);
+}

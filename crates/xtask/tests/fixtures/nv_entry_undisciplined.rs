@@ -1,0 +1,7 @@
+//! NF-NV fixture entry, positive case: an ordinary slot-loop helper
+//! (no commit/checkpoint/restore/ledger marker) reaches the mutator —
+//! the write escapes the discipline.
+
+pub fn slot_end_cleanup_fixture(buf: &mut NvBuffer) {
+    zero_buffers_fixture(buf);
+}

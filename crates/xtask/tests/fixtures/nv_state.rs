@@ -1,0 +1,22 @@
+//! NF-NV fixture: the NV struct (linted at a `crates/nvp/src/...`
+//! path), its sanctioned methods, and an unsanctioned free-function
+//! mutator one hop below the entry point.
+
+pub struct NvBuffer {
+    pub used: usize,
+}
+
+impl NvBuffer {
+    // Methods of the NV type itself are the commit discipline.
+    pub fn drain_all(&mut self) {
+        self.used = 0;
+    }
+}
+
+pub fn zero_buffers_fixture(buf: &mut NvBuffer) {
+    poke_fixture(buf);
+}
+
+fn poke_fixture(buf: &mut NvBuffer) {
+    buf.used = 0;
+}

@@ -1,0 +1,7 @@
+//! NF-REACH fixture, hop 2: a cross-crate kernel with a panic site.
+//! Reached from the slot loop it must be flagged with the full chain;
+//! without the sim entry point only the per-file NF-PANIC rule fires.
+
+pub fn deep_kernel_fixture(n: usize) -> Energy {
+    BUDGET_TABLE.get(n).copied().unwrap()
+}

@@ -1,0 +1,7 @@
+//! NF-REACH fixture, hop 0: a slot-loop phase function (linted at a
+//! `crates/core/src/sim/*.rs` path) that is itself clean but calls
+//! into the helper layer.
+
+pub fn transmit_phase_fixture(queue: &mut PacketQueue) -> Energy {
+    shape_budget(queue)
+}

@@ -1,0 +1,7 @@
+//! NF-REACH fixture, hop 1: a clean same-crate helper (linted at a
+//! non-sim `crates/core/src/...` path) that forwards into a numeric
+//! kernel in another crate.
+
+pub fn shape_budget(queue: &mut PacketQueue) -> Energy {
+    deep_kernel_fixture(queue.len())
+}

@@ -6,7 +6,7 @@
 //! walk skips — and are linted here under synthetic workspace paths
 //! chosen to land in each rule's scope.
 
-use neofog_xtask::lint_source;
+use neofog_xtask::{lint_source, lint_sources};
 
 /// Lints `src` as if it lived at `path` and returns the rule ids hit.
 fn ids(path: &str, src: &str) -> Vec<&'static str> {
@@ -196,6 +196,11 @@ fn scratch_ctx_sources_stay_fully_covered() {
         include_str!("fixtures/scratch_ctx.rs"),
     );
     let hits: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+    // Since the call-graph pass, sim/*.rs functions are NF-REACH-001
+    // entry points themselves, so every panic site gains a second,
+    // reachability-flavoured hit — including the indexing that the
+    // sim-wide NF-PANIC-003 allowlist waives per-site: the slot loop
+    // reaching it is exactly what the baseline must make auditable.
     assert_eq!(
         hits,
         vec![
@@ -203,10 +208,25 @@ fn scratch_ctx_sources_stay_fully_covered() {
             "NF-DET-002",
             "NF-DET-003",
             "NF-PANIC-001",
+            "NF-REACH-001",
             "NF-PANIC-002",
+            "NF-REACH-001",
+            "NF-REACH-001",
             "NF-LEDGER-001",
         ],
-        "one hit per violating line; indexing waived; booked reset quiet"
+        "one hit per violating line; NF-PANIC-003 waived but reach-flagged"
+    );
+    // Entry-point findings carry a one-element chain (the phase
+    // function itself).
+    let reach_chains: Vec<&[String]> = violations
+        .iter()
+        .filter(|v| v.rule == "NF-REACH-001")
+        .map(|v| v.chain.as_slice())
+        .collect();
+    assert_eq!(reach_chains.len(), 3);
+    assert!(
+        reach_chains.iter().all(|c| c.len() == 1),
+        "phase functions are their own entry points: {reach_chains:?}"
     );
     // The single ledger hit is the unbooked discharge, not the booked
     // one three lines below it.
@@ -246,4 +266,168 @@ fn runner_sources_are_fully_in_scope() {
         include_str!("fixtures/runner.rs"),
     );
     assert!(hits.is_empty(), "test trees stay exempt: {hits:?}");
+}
+
+// --- graph rules: one positive and one negative mini-workspace each ----
+
+#[test]
+fn reach_rule_fires_through_a_two_hop_chain_with_the_chain_shown() {
+    // sim phase fn -> same-crate helper -> cross-crate kernel with an
+    // unwrap. The kernel is flagged twice: per-file NF-PANIC-001 and
+    // transitive NF-REACH-001 carrying the full call chain.
+    let report = lint_sources(&[
+        (
+            "crates/core/src/sim/transmit.rs",
+            include_str!("fixtures/reach_entry.rs"),
+        ),
+        (
+            "crates/core/src/shape.rs",
+            include_str!("fixtures/reach_mid.rs"),
+        ),
+        (
+            "crates/workloads/src/deep.rs",
+            include_str!("fixtures/reach_deep.rs"),
+        ),
+    ]);
+    let hits: Vec<(&str, &str)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.path.as_str()))
+        .collect();
+    assert_eq!(
+        hits,
+        vec![
+            ("NF-PANIC-001", "crates/workloads/src/deep.rs"),
+            ("NF-REACH-001", "crates/workloads/src/deep.rs"),
+        ],
+        "{:?}",
+        report.violations
+    );
+    let reach = report
+        .violations
+        .iter()
+        .find(|v| v.rule == "NF-REACH-001")
+        .expect("reach hit");
+    assert_eq!(
+        reach.chain,
+        vec![
+            "core::transmit_phase_fixture",
+            "core::shape_budget",
+            "workloads::deep_kernel_fixture",
+        ],
+        "diagnostic shows the depth-2 call chain"
+    );
+    assert!(
+        reach.message.contains("reachable from the slot loop"),
+        "{}",
+        reach.message
+    );
+}
+
+#[test]
+fn reach_rule_is_quiet_without_a_slot_loop_entry_point() {
+    // Same helper and kernel, but the caller is ordinary library code,
+    // not a sim/*.rs phase function: only the per-file panic rule
+    // fires.
+    let report = lint_sources(&[
+        (
+            "crates/core/src/shape.rs",
+            include_str!("fixtures/reach_mid.rs"),
+        ),
+        (
+            "crates/workloads/src/deep.rs",
+            include_str!("fixtures/reach_deep.rs"),
+        ),
+    ]);
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec!["NF-PANIC-001"], "{:?}", report.violations);
+}
+
+#[test]
+fn det_closure_fires_through_a_two_hop_chain_into_a_non_sim_crate() {
+    let report = lint_sources(&[
+        (
+            "crates/net/src/schedule.rs",
+            include_str!("fixtures/det_closure_sim.rs"),
+        ),
+        (
+            "crates/workloads/src/encode.rs",
+            include_str!("fixtures/det_closure_helper.rs"),
+        ),
+    ]);
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec!["NF-DET-004"], "{:?}", report.violations);
+    let hit = report.violations.first().expect("one hit");
+    assert_eq!(hit.path, "crates/workloads/src/encode.rs");
+    assert_eq!(
+        hit.chain,
+        vec![
+            "net::schedule_phase_fixture",
+            "workloads::encode_batch_fixture",
+            "workloads::scramble_fixture",
+        ],
+        "diagnostic shows the depth-2 call chain"
+    );
+    assert!(hit.message.contains("HashMap"), "{}", hit.message);
+}
+
+#[test]
+fn det_closure_is_quiet_when_nothing_in_a_sim_crate_calls_in() {
+    // The helper crate on its own: the per-file NF-DET rules do not
+    // scope to workloads and no sim entry reaches it.
+    let report = lint_sources(&[(
+        "crates/workloads/src/encode.rs",
+        include_str!("fixtures/det_closure_helper.rs"),
+    )]);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn nv_rule_fires_when_an_undisciplined_entry_reaches_the_mutator() {
+    let report = lint_sources(&[
+        (
+            "crates/nvp/src/nvstate.rs",
+            include_str!("fixtures/nv_state.rs"),
+        ),
+        (
+            "crates/core/src/cleanup.rs",
+            include_str!("fixtures/nv_entry_undisciplined.rs"),
+        ),
+    ]);
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec!["NF-NV-001"], "{:?}", report.violations);
+    let hit = report.violations.first().expect("one hit");
+    assert_eq!(hit.path, "crates/nvp/src/nvstate.rs");
+    assert!(
+        hit.message.contains("NvBuffer.used"),
+        "names the struct and field: {}",
+        hit.message
+    );
+    assert_eq!(
+        hit.chain,
+        vec![
+            "core::slot_end_cleanup_fixture",
+            "nvp::zero_buffers_fixture",
+            "nvp::poke_fixture",
+        ],
+        "diagnostic shows the undisciplined path to the write"
+    );
+}
+
+#[test]
+fn nv_rule_is_quiet_when_every_path_is_commit_disciplined() {
+    // Identical mutator, but the only entry point carries a commit
+    // marker — and the NV type's own method writes are sanctioned
+    // outright.
+    let report = lint_sources(&[
+        (
+            "crates/nvp/src/nvstate.rs",
+            include_str!("fixtures/nv_state.rs"),
+        ),
+        (
+            "crates/core/src/cleanup.rs",
+            include_str!("fixtures/nv_entry_commit.rs"),
+        ),
+    ]);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
 }

@@ -18,7 +18,21 @@ fn workspace_passes_its_own_lint() {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    // Sanity: the walk actually visited the source tree.
+    // Every waiver must still be earning its keep: stale inline
+    // directives, allowlist entries, and baseline rows all surface
+    // here as warnings.
+    assert!(
+        report.warnings.is_empty(),
+        "stale waivers:\n  {}",
+        report.warnings.join("\n  ")
+    );
+    // The checked-in baseline is non-empty (reachable-indexing debt in
+    // the hot kernels is waived there, not silently dropped) ...
+    assert!(
+        report.baselined > 0,
+        "expected baselined findings; did lint-baseline.json go missing?"
+    );
+    // ... and sanity: the walk actually visited the source tree.
     assert!(
         report.files_checked > 50,
         "only {} files checked",
