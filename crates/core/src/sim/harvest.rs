@@ -19,13 +19,17 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     let (parts, mut bus) = sim.split();
     let slot_len = parts.cfg.slot_len;
     let fe = parts.cfg.node.front_end;
-    for i in 0..parts.nodes.len() {
-        let node = &mut parts.nodes[i];
-        let ledger = &mut ctx.ledgers[i];
+    for (i, ((node, ledger), income_power)) in parts
+        .nodes
+        .iter_mut()
+        .zip(ctx.ledgers.iter_mut())
+        .zip(ctx.income_power.iter_mut())
+        .enumerate()
+    {
         let ambient = node.curve.energy_between(ctx.t0, ctx.t1);
         let mut income = ambient * node.cfg.harvester_efficiency;
         ledger.credit_harvest(income);
-        ctx.income_power[i] =
+        *income_power =
             Power::from_milliwatts(income.as_nanojoules() / slot_len.as_micros() as f64);
         // RTC priority charging (takes only what it needs; the RTC
         // is a terminal load, so its intake books as consumed).

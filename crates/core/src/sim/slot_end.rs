@@ -15,9 +15,13 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     let (parts, mut bus) = sim.split();
     let system = parts.cfg.system;
     let slot_len = parts.cfg.slot_len;
-    for (i, budget) in ctx.budgets.iter_mut().enumerate() {
-        let node = &mut parts.nodes[i];
-        let ledger = &mut ctx.ledgers[i];
+    for (i, ((budget, node), ledger)) in ctx
+        .budgets
+        .iter_mut()
+        .zip(parts.nodes.iter_mut())
+        .zip(ctx.ledgers.iter_mut())
+        .enumerate()
+    {
         // Unspent direct income charges the capacitor.
         let leftover = budget.leftover_income();
         if leftover > Energy::ZERO {

@@ -15,17 +15,21 @@ use super::Simulator;
 pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     let (parts, mut bus) = sim.split();
     let system = parts.cfg.system;
-    for i in 0..parts.nodes.len() {
-        let node = &mut parts.nodes[i];
-        let ledger = &mut ctx.ledgers[i];
-        let budget = &mut ctx.budgets[i];
+    for (i, (((node, ledger), budget), awake)) in parts
+        .nodes
+        .iter_mut()
+        .zip(ctx.ledgers.iter_mut())
+        .zip(ctx.budgets.iter_mut())
+        .zip(ctx.awake.iter_mut())
+        .enumerate()
+    {
         let scheduled = node.schedule.wakes_at(ctx.slot) && node.rtc.is_synchronized();
         if !scheduled {
             continue;
         }
         if budget.available(&node.cap) >= system.wake_threshold() {
             budget.spend(&mut node.cap, ledger, system.wake_cost());
-            ctx.awake[i] = true;
+            *awake = true;
             bus.emit(&SimEvent::NodeWoke { node: i });
             // Capture one package (rain can spoil the sample).
             if !node.rng.chance(parts.cfg.sampling_success) {

@@ -89,27 +89,30 @@ impl Baseline {
     }
 
     /// Splits `violations` into the ones the baseline does not cover
-    /// (returned) and the covered count. Entries left with unmatched
-    /// count append a stale-baseline warning.
+    /// and the ones it waives — `(kept, suppressed)`. Suppressed
+    /// findings are returned whole (not just counted) so SARIF output
+    /// can report them with a `suppressions` entry instead of hiding
+    /// them. Entries left with unmatched count append a stale-baseline
+    /// warning.
     #[must_use]
     pub fn apply(
         &self,
         violations: Vec<Violation>,
         warnings: &mut Vec<String>,
-    ) -> (Vec<Violation>, usize) {
+    ) -> (Vec<Violation>, Vec<Violation>) {
         let mut remaining: BTreeMap<(String, String, String), u64> = self
             .entries
             .iter()
             .map(|e| ((e.rule.clone(), e.path.clone(), e.message.clone()), e.count))
             .collect();
         let mut kept = Vec::new();
-        let mut suppressed = 0usize;
+        let mut suppressed = Vec::new();
         for v in violations {
             let key = (v.rule.to_string(), v.path.clone(), v.message.clone());
             match remaining.get_mut(&key) {
                 Some(n) if *n > 0 => {
                     *n -= 1;
-                    suppressed += 1;
+                    suppressed.push(v);
                 }
                 _ => kept.push(v),
             }
@@ -151,33 +154,41 @@ impl Baseline {
 // --- minimal JSON reader -------------------------------------------------
 //
 // The workspace builds offline with no serde backend, so the baseline
-// is read by this purpose-built scanner: objects, arrays, strings with
-// the escapes `render` emits, and unsigned integers. Anything else is
-// a parse error — the file is machine-written.
+// (and the model cache in `crate::cache`) is read by this purpose-built
+// scanner: objects, arrays, strings with the escapes `render` emits,
+// and unsigned integers. Anything else is a parse error — the files are
+// machine-written.
 
-struct Reader {
+pub(crate) struct Reader {
     chars: Vec<char>,
     pos: usize,
 }
 
 impl Reader {
-    fn peek(&self) -> Option<char> {
+    pub(crate) fn new(text: &str) -> Reader {
+        Reader {
+            chars: text.chars().collect(),
+            pos: 0,
+        }
+    }
+
+    pub(crate) fn peek(&self) -> Option<char> {
         self.chars.get(self.pos).copied()
     }
 
-    fn bump(&mut self) -> Option<char> {
+    pub(crate) fn bump(&mut self) -> Option<char> {
         let c = self.peek()?;
         self.pos += 1;
         Some(c)
     }
 
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while self.peek().is_some_and(char::is_whitespace) {
             self.pos += 1;
         }
     }
 
-    fn eat(&mut self, c: char) -> Result<(), String> {
+    pub(crate) fn eat(&mut self, c: char) -> Result<(), String> {
         self.skip_ws();
         if self.bump() == Some(c) {
             Ok(())
@@ -186,7 +197,7 @@ impl Reader {
         }
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    pub(crate) fn string(&mut self) -> Result<String, String> {
         self.eat('"')?;
         let mut out = String::new();
         loop {
@@ -217,7 +228,7 @@ impl Reader {
         }
     }
 
-    fn number(&mut self) -> Result<u64, String> {
+    pub(crate) fn number(&mut self) -> Result<u64, String> {
         self.skip_ws();
         let start = self.pos;
         while self.peek().is_some_and(|c| c.is_ascii_digit()) {
@@ -235,10 +246,7 @@ impl Reader {
 }
 
 fn parse(text: &str) -> Result<Baseline, String> {
-    let mut r = Reader {
-        chars: text.chars().collect(),
-        pos: 0,
-    };
+    let mut r = Reader::new(text);
     r.eat('{')?;
     let mut entries = Vec::new();
     loop {
@@ -361,7 +369,8 @@ mod tests {
         ];
         let mut warnings = Vec::new();
         let (kept, suppressed) = base.apply(current, &mut warnings);
-        assert_eq!(suppressed, 1);
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed.first().map(|v| v.rule), Some("NF-REACH-001"));
         assert_eq!(kept.len(), 1);
         assert_eq!(kept.first().map(|v| v.rule), Some("NF-DET-004"));
         // Two stale keys: the unmatched half of `m` and all of `gone`.

@@ -1,0 +1,531 @@
+//! The incremental model cache (`target/xtask/model-cache.json`).
+//!
+//! Pass 1 (lex + test-span strip + item parse) dominates a lint run's
+//! wall time and is per-file pure: its output depends only on the file
+//! text. So every [`FileModel`] — plus the file's filtered inline
+//! waiver directives, which would otherwise need an *unstripped*
+//! re-tokenize to recompute — is persisted keyed by a 64-bit FNV-1a
+//! hash of the source. A warm run re-parses only files whose content
+//! hash changed; passes 2 and 3 (graph + transitive rules) always run,
+//! because one edited file can change reachability everywhere.
+//!
+//! Robustness rules:
+//!
+//! * a missing, corrupt, or version-mismatched cache file loads as an
+//!   empty cache (cold start), never an error — the cache is an
+//!   optimisation, not a source of truth;
+//! * [`CACHE_VERSION`] must be bumped whenever the lexer, the
+//!   test-span stripper, the parser, or the directive filter changes
+//!   meaning, since entries store their *output*;
+//! * writes go to a temp file then `rename`, so a crashed or
+//!   concurrent run can leave a stale cache but never a torn one;
+//! * file classification ([`crate::engine::classify`]) is *not*
+//!   cached: it depends on the path and the rule tables, so it is
+//!   recomputed on restore.
+
+use crate::baseline::Reader;
+use crate::engine::{classify, InlineAllow};
+use crate::lexer::{Tok, TokKind};
+use crate::parser::{FileModel, FnItem, ParsedFile, StructItem};
+use crate::sarif::json_str;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Format version; bump on any change to the lexer, parser, test-span
+/// stripper, or inline-directive filter.
+pub const CACHE_VERSION: u64 = 1;
+
+/// Default cache location, relative to the workspace root.
+pub const CACHE_FILE: &str = "target/xtask/model-cache.json";
+
+/// 64-bit FNV-1a over the UTF-8 bytes of `source`.
+#[must_use]
+pub fn content_hash(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in source.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One cached file: content hash plus everything pass 1 produced.
+#[derive(Debug, Clone)]
+struct Entry {
+    hash: u64,
+    toks: Vec<Tok>,
+    fns: Vec<FnItem>,
+    structs: Vec<StructItem>,
+    /// Filtered inline waivers as `(rule, line)`.
+    allows: Vec<(String, u32)>,
+}
+
+/// The on-disk model cache, keyed by workspace-relative path.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCache {
+    entries: BTreeMap<String, Entry>,
+}
+
+impl ModelCache {
+    /// Loads the cache at `path`. Missing, unreadable, corrupt, or
+    /// version-mismatched files all yield an empty cache.
+    #[must_use]
+    pub fn load(path: &Path) -> ModelCache {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return ModelCache::default();
+        };
+        match parse(&text) {
+            Ok(entries) => ModelCache { entries },
+            Err(_) => ModelCache::default(),
+        }
+    }
+
+    /// Number of cached files.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Restores the model and inline waivers for `rel` when the cached
+    /// content hash matches.
+    pub(crate) fn lookup(&self, rel: &str, hash: u64) -> Option<(FileModel, Vec<InlineAllow>)> {
+        let e = self.entries.get(rel)?;
+        if e.hash != hash {
+            return None;
+        }
+        let class = classify(rel)?;
+        let parsed = ParsedFile {
+            fns: e.fns.clone(),
+            structs: e.structs.clone(),
+        };
+        let model = FileModel::from_parts(rel, class, e.toks.clone(), parsed);
+        let allows = e
+            .allows
+            .iter()
+            .map(|(rule, line)| InlineAllow {
+                rule: rule.clone(),
+                line: *line,
+                used: false,
+            })
+            .collect();
+        Some((model, allows))
+    }
+
+    /// Records the freshly built pass-1 output for `rel`.
+    pub(crate) fn insert(
+        &mut self,
+        rel: &str,
+        hash: u64,
+        model: &FileModel,
+        allows: &[InlineAllow],
+    ) {
+        self.entries.insert(
+            rel.to_string(),
+            Entry {
+                hash,
+                toks: model.toks.clone(),
+                fns: model.parsed.fns.clone(),
+                structs: model.parsed.structs.clone(),
+                allows: allows.iter().map(|a| (a.rule.clone(), a.line)).collect(),
+            },
+        );
+    }
+
+    /// Writes the cache to `path` atomically (temp file + rename),
+    /// creating parent directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing or renaming.
+    pub fn store(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.render())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Renders the cache as compact JSON.
+    fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"version\":");
+        s.push_str(&CACHE_VERSION.to_string());
+        s.push_str(",\"files\":[");
+        for (i, (rel, e)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n{\"rel\":");
+            s.push_str(&json_str(rel));
+            s.push_str(",\"hash\":");
+            s.push_str(&e.hash.to_string());
+            s.push_str(",\"toks\":[");
+            for (j, t) in e.toks.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "[{},{},{}]",
+                    kind_code(t.kind),
+                    json_str(&t.text),
+                    t.line
+                ));
+            }
+            s.push_str("],\"fns\":[");
+            for (j, f) in e.fns.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "[{},{},[{}],{},{},{},{}]",
+                    json_str(&f.name),
+                    json_str(f.self_ty.as_deref().unwrap_or("")),
+                    f.modules
+                        .iter()
+                        .map(|m| json_str(m))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    u32::from(f.has_self),
+                    f.line,
+                    f.body.start,
+                    f.body.end
+                ));
+            }
+            s.push_str("],\"structs\":[");
+            for (j, st) in e.structs.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "[{},[{}],{}]",
+                    json_str(&st.name),
+                    st.fields
+                        .iter()
+                        .map(|f| json_str(f))
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    st.line
+                ));
+            }
+            s.push_str("],\"allows\":[");
+            for (j, (rule, line)) in e.allows.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("[{},{line}]", json_str(rule)));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("\n]}\n");
+        s
+    }
+}
+
+fn kind_code(kind: TokKind) -> u64 {
+    match kind {
+        TokKind::Ident => 0,
+        TokKind::Number => 1,
+        TokKind::Str => 2,
+        TokKind::Char => 3,
+        TokKind::Lifetime => 4,
+        TokKind::Punct => 5,
+    }
+}
+
+fn kind_from_code(code: u64) -> Result<TokKind, String> {
+    match code {
+        0 => Ok(TokKind::Ident),
+        1 => Ok(TokKind::Number),
+        2 => Ok(TokKind::Str),
+        3 => Ok(TokKind::Char),
+        4 => Ok(TokKind::Lifetime),
+        5 => Ok(TokKind::Punct),
+        other => Err(format!("bad token kind code {other}")),
+    }
+}
+
+fn u32_of(n: u64) -> Result<u32, String> {
+    u32::try_from(n).map_err(|_| "number out of u32 range".to_string())
+}
+
+/// Parses `,`-separated `element`s until `close`, consuming it.
+fn parse_seq(
+    r: &mut Reader,
+    close: char,
+    mut element: impl FnMut(&mut Reader) -> Result<(), String>,
+) -> Result<(), String> {
+    loop {
+        r.skip_ws();
+        if r.peek() == Some(close) {
+            r.bump();
+            return Ok(());
+        }
+        element(r)?;
+        r.skip_ws();
+        if r.peek() == Some(',') {
+            r.bump();
+        }
+    }
+}
+
+fn parse_string_array(r: &mut Reader) -> Result<Vec<String>, String> {
+    r.eat('[')?;
+    let mut out = Vec::new();
+    parse_seq(r, ']', |r| {
+        out.push(r.string()?);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+fn parse_entry(r: &mut Reader) -> Result<(String, Entry), String> {
+    r.eat('{')?;
+    let mut rel = None;
+    let mut hash = None;
+    let mut toks = Vec::new();
+    let mut fns = Vec::new();
+    let mut structs = Vec::new();
+    let mut allows = Vec::new();
+    parse_seq(r, '}', |r| {
+        let key = r.string()?;
+        r.eat(':')?;
+        match key.as_str() {
+            "rel" => rel = Some(r.string()?),
+            "hash" => hash = Some(r.number()?),
+            "toks" => {
+                r.eat('[')?;
+                parse_seq(r, ']', |r| {
+                    r.eat('[')?;
+                    let kind = kind_from_code(r.number()?)?;
+                    r.eat(',')?;
+                    let text = r.string()?;
+                    r.eat(',')?;
+                    let line = u32_of(r.number()?)?;
+                    r.eat(']')?;
+                    toks.push(Tok { kind, text, line });
+                    Ok(())
+                })?;
+            }
+            "fns" => {
+                r.eat('[')?;
+                parse_seq(r, ']', |r| {
+                    r.eat('[')?;
+                    let name = r.string()?;
+                    r.eat(',')?;
+                    let self_ty = r.string()?;
+                    r.eat(',')?;
+                    let modules = parse_string_array(r)?;
+                    r.eat(',')?;
+                    let has_self = r.number()? != 0;
+                    r.eat(',')?;
+                    let line = u32_of(r.number()?)?;
+                    r.eat(',')?;
+                    let start = usize::try_from(r.number()?)
+                        .map_err(|_| "range out of usize".to_string())?;
+                    r.eat(',')?;
+                    let end = usize::try_from(r.number()?)
+                        .map_err(|_| "range out of usize".to_string())?;
+                    r.eat(']')?;
+                    fns.push(FnItem {
+                        name,
+                        self_ty: (!self_ty.is_empty()).then_some(self_ty),
+                        modules,
+                        has_self,
+                        line,
+                        body: start..end,
+                    });
+                    Ok(())
+                })?;
+            }
+            "structs" => {
+                r.eat('[')?;
+                parse_seq(r, ']', |r| {
+                    r.eat('[')?;
+                    let name = r.string()?;
+                    r.eat(',')?;
+                    let fields = parse_string_array(r)?;
+                    r.eat(',')?;
+                    let line = u32_of(r.number()?)?;
+                    r.eat(']')?;
+                    structs.push(StructItem { name, fields, line });
+                    Ok(())
+                })?;
+            }
+            "allows" => {
+                r.eat('[')?;
+                parse_seq(r, ']', |r| {
+                    r.eat('[')?;
+                    let rule = r.string()?;
+                    r.eat(',')?;
+                    let line = u32_of(r.number()?)?;
+                    r.eat(']')?;
+                    allows.push((rule, line));
+                    Ok(())
+                })?;
+            }
+            other => return Err(format!("unknown entry key `{other}`")),
+        }
+        Ok(())
+    })?;
+    match (rel, hash) {
+        (Some(rel), Some(hash)) => Ok((
+            rel,
+            Entry {
+                hash,
+                toks,
+                fns,
+                structs,
+                allows,
+            },
+        )),
+        _ => Err("entry missing rel/hash".to_string()),
+    }
+}
+
+fn parse(text: &str) -> Result<BTreeMap<String, Entry>, String> {
+    let mut r = Reader::new(text);
+    r.eat('{')?;
+    let mut entries = BTreeMap::new();
+    parse_seq(&mut r, '}', |r| {
+        let key = r.string()?;
+        r.eat(':')?;
+        match key.as_str() {
+            "version" => {
+                let v = r.number()?;
+                if v != CACHE_VERSION {
+                    return Err(format!("cache version {v} != {CACHE_VERSION}"));
+                }
+            }
+            "files" => {
+                r.eat('[')?;
+                parse_seq(r, ']', |r| {
+                    let (rel, e) = parse_entry(r)?;
+                    entries.insert(rel, e);
+                    Ok(())
+                })?;
+            }
+            other => return Err(format!("unknown key `{other}`")),
+        }
+        Ok(())
+    })?;
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_for(rel: &str, src: &str) -> FileModel {
+        let class = classify(rel).expect("classifiable fixture path");
+        FileModel::build(rel, class, src)
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_content_sensitive() {
+        let a = content_hash("fn f() {}");
+        assert_eq!(a, content_hash("fn f() {}"));
+        assert_ne!(a, content_hash("fn f() { }"));
+        // The FNV-1a offset basis for the empty input.
+        assert_eq!(content_hash(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn round_trips_models_and_allows_through_render_and_parse() {
+        let rel = "crates/core/src/sim/fixture.rs";
+        let src = "// neofog-lint: allow(NF-PANIC-001) fixture\n\
+                   mod inner {\n\
+                       pub struct S<'a> { pub field: &'a str }\n\
+                       impl<'a> S<'a> {\n\
+                           pub fn get(&self) -> &str { self.field }\n\
+                       }\n\
+                   }\n\
+                   fn free(x: f64) -> f64 { x * 2.0 }\n";
+        let model = model_for(rel, src);
+        let allows = vec![InlineAllow {
+            rule: "NF-PANIC-001".to_string(),
+            line: 1,
+            used: false,
+        }];
+        let hash = content_hash(src);
+        let mut cache = ModelCache::default();
+        cache.insert(rel, hash, &model, &allows);
+        let parsed = parse(&cache.render()).expect("round trip");
+        let restored = ModelCache { entries: parsed };
+        let (m2, a2) = restored.lookup(rel, hash).expect("hit");
+        assert_eq!(m2.toks, model.toks);
+        assert_eq!(m2.parsed.fns.len(), model.parsed.fns.len());
+        for (a, b) in m2.parsed.fns.iter().zip(&model.parsed.fns) {
+            assert_eq!(
+                (
+                    a.name.as_str(),
+                    &a.self_ty,
+                    &a.modules,
+                    a.has_self,
+                    a.line,
+                    &a.body
+                ),
+                (
+                    b.name.as_str(),
+                    &b.self_ty,
+                    &b.modules,
+                    b.has_self,
+                    b.line,
+                    &b.body
+                )
+            );
+        }
+        assert_eq!(m2.parsed.structs.len(), 1);
+        assert_eq!(a2, allows);
+    }
+
+    #[test]
+    fn lookup_misses_on_hash_change_and_unknown_path() {
+        let rel = "crates/core/src/sim/fixture.rs";
+        let src = "fn f() {}";
+        let mut cache = ModelCache::default();
+        cache.insert(rel, content_hash(src), &model_for(rel, src), &[]);
+        assert!(cache.lookup(rel, content_hash(src)).is_some());
+        assert!(cache
+            .lookup(rel, content_hash("fn f() { changed() }"))
+            .is_none());
+        assert!(cache.lookup("crates/core/src/sim/other.rs", 0).is_none());
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_cache_loads_empty() {
+        assert!(ModelCache::load(Path::new("/nonexistent/model-cache.json")).is_empty());
+        let dir = std::env::temp_dir().join(format!("xtask-cache-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let p = dir.join("model-cache.json");
+        std::fs::write(&p, "{\"version\":1,\"files\":[{\"rel\"").expect("write");
+        assert!(ModelCache::load(&p).is_empty(), "truncated JSON");
+        std::fs::write(&p, "not json at all").expect("write");
+        assert!(ModelCache::load(&p).is_empty(), "garbage");
+        std::fs::write(&p, "{\"version\":999,\"files\":[]}").expect("write");
+        assert!(ModelCache::load(&p).is_empty(), "future version");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_writes_atomically_and_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!("xtask-cache-store-{}", std::process::id()));
+        let p = dir.join("nested/model-cache.json");
+        let rel = "crates/core/src/sim/fixture.rs";
+        let src = "pub fn phase() { helper(); }\nfn helper() {}\n";
+        let mut cache = ModelCache::default();
+        cache.insert(rel, content_hash(src), &model_for(rel, src), &[]);
+        cache.store(&p).expect("store creates parents");
+        let loaded = ModelCache::load(&p);
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded.lookup(rel, content_hash(src)).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

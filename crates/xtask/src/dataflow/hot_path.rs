@@ -1,0 +1,170 @@
+//! NF-ALLOC-001/002: heap allocation reachable from the slot loop.
+//!
+//! Entry points are the six per-slot phase modules
+//! ([`rules::ALLOC_ENTRY_FILES`]) — deliberately not `sim/mod.rs` or
+//! `sim/ctx.rs`, whose constructors perform the sanctioned warm-up
+//! allocations the counting-allocator test also skips. From those
+//! entries the workspace call graph is walked forward and every
+//! function reached is scanned for two site families:
+//!
+//! * **NF-ALLOC-001** — allocating construction: `Box::new`,
+//!   `Arc::new`, `Vec::with_capacity`, the `vec!`/`format!` macros,
+//!   and the allocating adapters `.collect()`, `.to_vec()`,
+//!   `.to_owned()`, `.to_string()`, `.clone()`.
+//! * **NF-ALLOC-002** — in-place container growth that may
+//!   reallocate: `.push()`, `.extend()`, `.insert()`, `.resize()`,
+//!   `.reserve()` and friends.
+//!
+//! The lexer cannot see receiver types, so `.clone()` on a `Copy`
+//! struct or a `.push()` into a pre-reserved scratch vector are
+//! matched too; those sites carry audited waivers (inline or in the
+//! baseline) rather than being silently skipped — the point is that a
+//! reviewer sees the complete allocation surface of the hot path.
+
+use crate::engine::Violation;
+use crate::graph::CallGraph;
+use crate::lexer::{Tok, TokKind};
+use crate::parser::FileModel;
+use crate::rules;
+use std::ops::Range;
+
+/// `Type::ctor(...)` allocating-constructor sites in `range`:
+/// `(line, "Type::ctor")`.
+pub(crate) fn alloc_ctor_sites(toks: &[Tok], range: Range<usize>) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for i in range {
+        let Some(ty) = toks.get(i) else { break };
+        if ty.kind != TokKind::Ident || !rules::ALLOC_CTOR_TYPES.contains(&ty.text.as_str()) {
+            continue;
+        }
+        let pathsep = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'));
+        if !pathsep {
+            continue;
+        }
+        let Some(ctor) = toks.get(i + 3).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        if !rules::ALLOC_CTOR_FNS.contains(&ctor.text.as_str()) {
+            continue;
+        }
+        // `Type::ctor(` or the turbofish `Type::ctor::<T>(`.
+        let mut call_at = i + 4;
+        if toks.get(i + 4).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct('<'))
+        {
+            call_at = crate::parser::skip_angles(toks, i + 6);
+        }
+        if toks.get(call_at).is_some_and(|t| t.is_punct('(')) {
+            hits.push((ty.line, format!("{}::{}", ty.text, ctor.text)));
+        }
+    }
+    hits
+}
+
+/// `vec!` / `format!` macro sites in `range`: `(line, name)`.
+pub(crate) fn alloc_macro_sites(toks: &[Tok], range: Range<usize>) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for i in range {
+        let Some(tok) = toks.get(i) else { break };
+        if tok.kind != TokKind::Ident || !rules::ALLOC_MACROS.contains(&tok.text.as_str()) {
+            continue;
+        }
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('!')) {
+            hits.push((tok.line, tok.text.clone()));
+        }
+    }
+    hits
+}
+
+/// Dotted method-call sites of `names` in `range`: `(line, name)`.
+/// Shared by the adapter (001) and growth (002) scans.
+pub(crate) fn dotted_method_sites(
+    toks: &[Tok],
+    range: Range<usize>,
+    names: &[&str],
+) -> Vec<(u32, String)> {
+    let mut hits = Vec::new();
+    for i in range {
+        if i == 0 {
+            continue;
+        }
+        let Some(tok) = toks.get(i) else { break };
+        if tok.kind != TokKind::Ident || !names.contains(&tok.text.as_str()) {
+            continue;
+        }
+        let dotted = toks.get(i - 1).is_some_and(|t| t.is_punct('.'));
+        // `.collect::<Vec<_>>(` — hop the turbofish to find the paren.
+        let mut call_at = i + 1;
+        if toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('<'))
+        {
+            call_at = crate::parser::skip_angles(toks, i + 3);
+        }
+        if dotted && toks.get(call_at).is_some_and(|t| t.is_punct('(')) {
+            hits.push((tok.line, tok.text.clone()));
+        }
+    }
+    hits
+}
+
+/// NF-ALLOC-001/002: allocation sites transitively reachable from the
+/// slot loop's phase functions.
+pub(crate) fn alloc_reachability(models: &[FileModel], graph: &CallGraph) -> Vec<Violation> {
+    let entries: Vec<usize> = graph
+        .nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(id, n)| {
+            let rel = models.get(n.file).map(|m| m.rel.as_str())?;
+            rules::ALLOC_ENTRY_FILES.contains(&rel).then_some(id)
+        })
+        .collect();
+    let reach = graph.reach_forward(&entries);
+    let mut out = Vec::new();
+    for (id, n) in graph.nodes.iter().enumerate() {
+        if !reach.visited(id) {
+            continue;
+        }
+        let Some(m) = models.get(n.file) else {
+            continue;
+        };
+        if !m.class.is_library {
+            continue;
+        }
+        let chain = graph.chain(&reach, id);
+        let mut push = |rule: &'static str, line: u32, what: String, subject: String| {
+            out.push(Violation {
+                rule,
+                path: m.rel.clone(),
+                line,
+                message: format!("`{}` {what} and is reachable from the slot loop", n.display),
+                subject,
+                chain: chain.clone(),
+            });
+        };
+        for (line, site) in alloc_ctor_sites(&m.toks, n.body.clone()) {
+            let what = format!("allocates via `{site}`");
+            push("NF-ALLOC-001", line, what, site);
+        }
+        for (line, name) in alloc_macro_sites(&m.toks, n.body.clone()) {
+            let what = format!("allocates via `{name}!`");
+            push("NF-ALLOC-001", line, what, name);
+        }
+        for (line, name) in
+            dotted_method_sites(&m.toks, n.body.clone(), rules::ALLOC_ADAPTER_METHODS)
+        {
+            let what = format!("allocates via `.{name}()`");
+            push("NF-ALLOC-001", line, what, name);
+        }
+        for (line, name) in
+            dotted_method_sites(&m.toks, n.body.clone(), rules::ALLOC_GROWTH_METHODS)
+        {
+            let what = format!("grows a container via `.{name}()`");
+            push("NF-ALLOC-002", line, what, name);
+        }
+    }
+    out
+}

@@ -1,17 +1,22 @@
-//! The lint engine driver: file classification, the two-phase
+//! The lint engine driver: file classification, the three-pass
 //! pipeline, waiver bookkeeping and the baseline filter.
 //!
 //! Pass 1 builds a [`FileModel`] per classified file (token stream
 //! with test spans stripped, plus the parsed item model) and runs the
-//! per-file matchers. Pass 2 builds the workspace [`CallGraph`] and
-//! runs the transitive rules in [`crate::reach`]. All raw findings
-//! then flow through one suppression layer — inline
-//! `neofog-lint: allow(...)` directives, then identifier allowlists,
-//! then file allowlists, then (workspace runs only) the checked-in
-//! baseline — which records which waivers actually fired so stale
-//! ones can be reported as warnings instead of silently rotting.
+//! per-file matchers; models are restored from the content-hash
+//! [`ModelCache`] when one is supplied, so warm runs re-parse only
+//! changed files. Pass 2 builds the workspace [`CallGraph`]. Pass 3
+//! runs the transitive rules in [`crate::reach`] and
+//! [`crate::dataflow`]. All raw findings then flow through one
+//! suppression layer — inline `neofog-lint: allow(...)` directives,
+//! then identifier allowlists, then file allowlists, then (workspace
+//! runs only) the checked-in baseline — which records which waivers
+//! actually fired so stale ones can be reported as warnings instead of
+//! silently rotting.
 
 use crate::baseline::{Baseline, BASELINE_FILE};
+use crate::cache::ModelCache;
+use crate::dataflow;
 use crate::graph::CallGraph;
 use crate::lexer::{tokenize, Tok, TokKind};
 use crate::parser::{test_span_lines, FileModel};
@@ -23,7 +28,8 @@ use crate::rules::{
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::ops::Range;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Crates whose library code must be deterministic (rule scope
 /// [`Scope::SimCrates`]).
@@ -111,10 +117,10 @@ pub fn classify(rel: &str) -> Option<FileClass> {
 /// One inline waiver: `// neofog-lint: allow(RULE)` covering its own
 /// line and the line below.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct InlineAllow {
-    rule: String,
-    line: u32,
-    used: bool,
+pub(crate) struct InlineAllow {
+    pub(crate) rule: String,
+    pub(crate) line: u32,
+    pub(crate) used: bool,
 }
 
 /// Parses `// neofog-lint: allow(ID[, ID]*)` directives, one entry
@@ -467,7 +473,27 @@ fn check_ledger(model: &FileModel, out: &mut Vec<Violation>) {
     }
 }
 
-// --- the two-phase driver ------------------------------------------------
+// --- the three-pass driver -----------------------------------------------
+
+/// Per-run statistics: cache behaviour and per-pass wall time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Files restored from the model cache without re-parsing.
+    pub cache_hits: usize,
+    /// Files lexed and parsed this run (every file, on a cold run).
+    pub cache_misses: usize,
+    /// Pass 1: model building (parse or cache restore) plus the
+    /// per-file rules.
+    pub pass1_ms: u64,
+    /// Pass 2: call-graph construction.
+    pub pass2_ms: u64,
+    /// Pass 3: transitive rules (reachability + dataflow).
+    pub pass3_ms: u64,
+}
+
+fn elapsed_ms(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
 
 /// Result of analysing a set of sources, before any baseline is
 /// applied.
@@ -477,38 +503,70 @@ struct Analysis {
     warnings: Vec<String>,
     file_allow_used: Vec<bool>,
     ident_allow_used: Vec<bool>,
+    stats: LintStats,
 }
 
-/// Runs both passes and the waiver suppression layer over `files`
-/// (pairs of workspace-relative path and source text).
-fn analyze(files: &[(String, String)]) -> Analysis {
+/// Runs all three passes and the waiver suppression layer over `files`
+/// (pairs of workspace-relative path and source text). With a cache,
+/// pass 1 restores unchanged files and records fresh parses for the
+/// caller to persist.
+fn analyze(files: &[(String, String)], mut cache: Option<&mut ModelCache>) -> Analysis {
+    let mut stats = LintStats::default();
+    // Pass 1: per-file models and per-file rules.
+    let t1 = Instant::now();
     let mut models: Vec<FileModel> = Vec::new();
     let mut inline: Vec<Vec<InlineAllow>> = Vec::new();
     for (rel, source) in files {
         let Some(class) = classify(rel) else { continue };
-        models.push(FileModel::build(rel, class, source));
-        // Directives inside test items can neither waive (test code is
-        // exempt) nor go stale — drop them before bookkeeping. The
-        // line ranges come from the *unstripped* token stream.
-        let test_lines = test_span_lines(&tokenize(source));
-        let mut allows = parse_allow_directives(source);
-        allows.retain(|a| !test_lines.iter().any(|&(s, e)| a.line >= s && a.line <= e));
+        let hash = crate::cache::content_hash(source);
+        let restored = cache.as_deref().and_then(|c| c.lookup(rel, hash));
+        let (model, allows) = if let Some(hit) = restored {
+            stats.cache_hits += 1;
+            hit
+        } else {
+            stats.cache_misses += 1;
+            let model = FileModel::build(rel, class, source);
+            // Directives inside test items can neither waive (test
+            // code is exempt) nor go stale — drop them before
+            // bookkeeping. The line ranges come from the *unstripped*
+            // token stream.
+            let test_lines = test_span_lines(&tokenize(source));
+            let mut allows = parse_allow_directives(source);
+            allows.retain(|a| !test_lines.iter().any(|&(s, e)| a.line >= s && a.line <= e));
+            if let Some(c) = cache.as_deref_mut() {
+                c.insert(rel, hash, &model, &allows);
+            }
+            (model, allows)
+        };
+        models.push(model);
         inline.push(allows);
     }
     let mut raw: Vec<Violation> = Vec::new();
     for m in &models {
         raw.extend(per_file_rules(m));
     }
+    stats.pass1_ms = elapsed_ms(t1);
     // Pass 2: the call graph, minus developer tooling crates.
+    let t2 = Instant::now();
     let graph_models: Vec<FileModel> = models
         .iter()
         .filter(|m| !rules::TOOL_CRATES.contains(&m.class.crate_name.as_str()))
         .cloned()
         .collect();
     let graph = CallGraph::build(&graph_models);
+    stats.pass2_ms = elapsed_ms(t2);
+    // Pass 3: the transitive rules. These always run in full — one
+    // edited file can change reachability anywhere.
+    let t3 = Instant::now();
     raw.extend(reach::panic_reachability(&graph_models, &graph));
     raw.extend(reach::determinism_closure(&graph_models, &graph));
     raw.extend(reach::nv_write_discipline(&graph_models, &graph));
+    raw.extend(dataflow::hot_path::alloc_reachability(
+        &graph_models,
+        &graph,
+    ));
+    raw.extend(dataflow::par::parallel_discipline(&graph_models, &graph));
+    stats.pass3_ms = elapsed_ms(t3);
     raw.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
             b.path.as_str(),
@@ -579,6 +637,7 @@ fn analyze(files: &[(String, String)]) -> Analysis {
         warnings,
         file_allow_used,
         ident_allow_used,
+        stats,
     }
 }
 
@@ -625,29 +684,38 @@ pub struct LintReport {
     /// Non-waived, non-baselined diagnostics, ordered by path then
     /// line.
     pub violations: Vec<Violation>,
-    /// Findings suppressed by the checked-in baseline.
+    /// Findings suppressed by the checked-in baseline
+    /// (`suppressed.len()`).
     pub baselined: usize,
+    /// The baseline-suppressed findings themselves, so SARIF output
+    /// can report them with a `suppressions` entry instead of hiding
+    /// them.
+    pub suppressed: Vec<Violation>,
     /// Stale-waiver and stale-baseline warnings. Never fail the run,
     /// but the workspace self-test keeps them at zero.
     pub warnings: Vec<String>,
+    /// Cache behaviour and per-pass timings for this run.
+    pub stats: LintStats,
 }
 
-/// Lints a set of in-memory sources as one mini-workspace: both
-/// passes and the inline-waiver audit run; the `rules.rs` allowlist
-/// audit and the baseline do not (they are meaningful only against
-/// the real tree).
+/// Lints a set of in-memory sources as one mini-workspace: all three
+/// passes and the inline-waiver audit run; the model cache, the
+/// `rules.rs` allowlist audit and the baseline do not (they are
+/// meaningful only against the real tree).
 #[must_use]
 pub fn lint_sources(files: &[(&str, &str)]) -> LintReport {
     let owned: Vec<(String, String)> = files
         .iter()
         .map(|(rel, src)| ((*rel).to_string(), (*src).to_string()))
         .collect();
-    let analysis = analyze(&owned);
+    let analysis = analyze(&owned, None);
     LintReport {
         files_checked: analysis.files_checked,
         violations: analysis.violations,
         baselined: 0,
+        suppressed: Vec::new(),
         warnings: analysis.warnings,
+        stats: analysis.stats,
     }
 }
 
@@ -676,7 +744,33 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::
     Ok(())
 }
 
-fn lint_workspace_opts(root: &Path, apply_baseline: bool) -> std::io::Result<LintReport> {
+/// Options for a workspace lint run.
+#[derive(Debug, Clone, Default)]
+pub struct LintOptions {
+    /// Subtract the checked-in baseline (normal runs).
+    pub apply_baseline: bool,
+    /// When set, pass-1 models are restored from / persisted to this
+    /// cache file (resolved against `root` if relative). `None` keeps
+    /// the run hermetic — the test-suite default.
+    pub cache_path: Option<PathBuf>,
+    /// When set, reported findings (kept *and* suppressed) are
+    /// restricted to these workspace-relative paths and the
+    /// stale-waiver audit is skipped, since waivers for untouched
+    /// files legitimately fire on nothing in a scoped run — the
+    /// `--changed` mode. The analysis itself still covers the whole
+    /// tree: transitive rules need every file.
+    pub changed_paths: Option<Vec<String>>,
+}
+
+/// Lints the whole workspace rooted at `root` (`crates/*/src` plus the
+/// root package's `src/`) according to `opts`.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading files,
+/// or [`std::io::ErrorKind::InvalidData`] for a malformed baseline. A
+/// cache that cannot be *written* degrades to a warning, not an error.
+pub fn lint_workspace_with(root: &Path, opts: &LintOptions) -> std::io::Result<LintReport> {
     let mut rels = Vec::new();
     for top in ["crates", "src"] {
         let dir = root.join(top);
@@ -693,8 +787,15 @@ fn lint_workspace_opts(root: &Path, apply_baseline: bool) -> std::io::Result<Lin
         let source = std::fs::read_to_string(root.join(&rel))?;
         files.push((rel, source));
     }
-    let analysis = analyze(&files);
+    let cache_file = opts.cache_path.as_ref().map(|p| root.join(p));
+    let mut cache = cache_file.as_ref().map(|p| ModelCache::load(p));
+    let analysis = analyze(&files, cache.as_mut());
     let mut warnings = analysis.warnings;
+    if let (Some(c), Some(p)) = (&cache, &cache_file) {
+        if let Err(e) = c.store(p) {
+            warnings.push(format!("model cache not written to {}: {e}", p.display()));
+        }
+    }
     warnings.extend(stale_file_allow_warnings(
         rules::FILE_ALLOWS,
         &analysis.file_allow_used,
@@ -703,29 +804,43 @@ fn lint_workspace_opts(root: &Path, apply_baseline: bool) -> std::io::Result<Lin
         rules::IDENT_ALLOWS,
         &analysis.ident_allow_used,
     ));
-    let (violations, baselined) = if apply_baseline {
+    let (mut violations, mut suppressed) = if opts.apply_baseline {
         let baseline = Baseline::load(&root.join(BASELINE_FILE))?;
         baseline.apply(analysis.violations, &mut warnings)
     } else {
-        (analysis.violations, 0)
+        (analysis.violations, Vec::new())
     };
+    if let Some(paths) = &opts.changed_paths {
+        let touched = |v: &Violation| paths.iter().any(|p| p == &v.path);
+        violations.retain(&touched);
+        suppressed.retain(&touched);
+        warnings.clear();
+    }
     Ok(LintReport {
         files_checked: analysis.files_checked,
         violations,
-        baselined,
+        baselined: suppressed.len(),
+        suppressed,
         warnings,
+        stats: analysis.stats,
     })
 }
 
-/// Lints the whole workspace rooted at `root` (`crates/*/src` plus the
-/// root package's `src/`), applying the checked-in baseline.
+/// Lints the workspace with the checked-in baseline applied and no
+/// cache — the hermetic configuration the test suite uses.
 ///
 /// # Errors
 ///
 /// Returns any I/O error encountered while walking or reading files,
 /// or [`std::io::ErrorKind::InvalidData`] for a malformed baseline.
 pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
-    lint_workspace_opts(root, true)
+    lint_workspace_with(
+        root,
+        &LintOptions {
+            apply_baseline: true,
+            ..LintOptions::default()
+        },
+    )
 }
 
 /// Like [`lint_workspace`] but without subtracting the baseline —
@@ -735,7 +850,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
 ///
 /// Returns any I/O error encountered while walking or reading files.
 pub fn lint_workspace_unbaselined(root: &Path) -> std::io::Result<LintReport> {
-    lint_workspace_opts(root, false)
+    lint_workspace_with(root, &LintOptions::default())
 }
 
 #[cfg(test)]

@@ -236,6 +236,15 @@ impl CallGraph {
     }
 }
 
+/// `true` for identifiers shaped like a generic type parameter: one
+/// uppercase letter, optionally followed by digits (`R`, `T`, `R1`).
+fn is_generic_param_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_uppercase())
+        && chars.clone().all(|c| c.is_ascii_digit())
+        && name.len() <= 3
+}
+
 /// Inspects token `j` of `toks` for a call site and appends every
 /// resolution candidate to `out`.
 #[allow(clippy::too_many_arguments)]
@@ -296,6 +305,18 @@ fn resolve_call_site(
                     // `module::helper(...)` — the qualifier is a
                     // module or crate, not a type.
                     out.extend_from_slice(v);
+                } else if is_generic_param_name(&qual) {
+                    // `R::map(...)`: the qualifier is a generic
+                    // parameter no impl block names, so every method
+                    // of that name is a candidate — this is how the
+                    // runner's `R::map` links to each `Reduce` impl.
+                    // Longer unresolved qualifiers (`Vec::new`,
+                    // `Instant::now`) are std/foreign types; linking
+                    // them to every same-named workspace method would
+                    // drown reachability in false edges.
+                    if let Some(v) = methods.get(name) {
+                        out.extend_from_slice(v);
+                    }
                 }
             }
             // `<T as Trait>::name(...)` and friends: conservative.

@@ -9,21 +9,25 @@
 //! determinism closure. The rule table and every exemption are in
 //! [`rules`]; the driver is in [`engine`].
 //!
-//! The analysis runs in two phases on a hand-rolled token stream
+//! The analysis runs in three passes on a hand-rolled token stream
 //! ([`lexer`]) — the build environment has no `syn`:
 //!
 //! 1. [`parser`] turns each file into a lightweight item model
 //!    (modules, impl blocks, struct fields, functions with body token
-//!    spans) and the per-file matchers scan the tokens.
-//! 2. [`graph`] links the items into a workspace call graph and
-//!    [`reach`] runs the transitive rules over it, printing offending
-//!    call chains in the diagnostics.
+//!    spans) and the per-file matchers scan the tokens. Models are
+//!    persisted keyed by content hash ([`cache`]) so warm runs
+//!    re-parse only changed files.
+//! 2. [`graph`] links the items into a workspace call graph.
+//! 3. [`reach`] and [`dataflow`] run the transitive rules over it,
+//!    printing offending call chains in the diagnostics.
 //!
 //! Findings can be waived inline, via the allowlists in [`rules`], or
 //! — for pre-existing graph-rule findings — via the checked-in
 //! [`baseline`]; `--sarif` output for CI lives in [`sarif`].
 
 pub mod baseline;
+pub mod cache;
+pub mod dataflow;
 pub mod engine;
 pub mod graph;
 pub mod lexer;
@@ -33,6 +37,6 @@ pub mod rules;
 pub mod sarif;
 
 pub use engine::{
-    classify, lint_source, lint_sources, lint_workspace, lint_workspace_unbaselined, LintReport,
-    Violation,
+    classify, lint_source, lint_sources, lint_workspace, lint_workspace_unbaselined,
+    lint_workspace_with, LintOptions, LintReport, LintStats, Violation,
 };

@@ -1,9 +1,12 @@
 //! CLI entry point for `cargo xtask`.
 
 use neofog_xtask::baseline::{Baseline, BASELINE_FILE};
+use neofog_xtask::cache::CACHE_FILE;
 use neofog_xtask::rules::{self, Scope};
-use neofog_xtask::{lint_workspace, lint_workspace_unbaselined, sarif, LintReport, Violation};
-use std::path::PathBuf;
+use neofog_xtask::{
+    lint_workspace_unbaselined, lint_workspace_with, sarif, LintOptions, LintReport, Violation,
+};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -13,6 +16,9 @@ commands:
   lint [--json | --sarif]   run the NEOFog static-analysis pass over the workspace
        [--update-baseline]  rewrite lint-baseline.json from the current findings
        [--explain NF-X-NNN] print one rule's summary, rationale and scope
+       [--timings]          print per-pass timings and cache hit/miss counts (stderr)
+       [--changed]          report findings only for files touched per git
+       [--no-cache]         skip the model cache (target/xtask/model-cache.json)
   rules                     print the rule table with rationales
 
 exit status: 0 clean, 1 violations found, 2 usage / unknown rule / I/O error";
@@ -25,12 +31,18 @@ fn main() -> ExitCode {
             let mut json = false;
             let mut sarif_out = false;
             let mut update_baseline = false;
+            let mut timings = false;
+            let mut changed = false;
+            let mut no_cache = false;
             let mut explain: Option<&str> = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--json" => json = true,
                     "--sarif" => sarif_out = true,
                     "--update-baseline" => update_baseline = true,
+                    "--timings" => timings = true,
+                    "--changed" => changed = true,
+                    "--no-cache" => no_cache = true,
                     "--explain" => {
                         let Some(id) = it.next() else {
                             eprintln!("--explain needs a rule id\n{USAGE}");
@@ -50,7 +62,7 @@ fn main() -> ExitCode {
             if update_baseline {
                 return run_update_baseline();
             }
-            run_lint(json, sarif_out)
+            run_lint(json, sarif_out, timings, changed, no_cache)
         }
         Some("rules") => {
             print_rules();
@@ -81,15 +93,65 @@ fn workspace_root() -> PathBuf {
         .map_or(manifest.clone(), PathBuf::from)
 }
 
-fn run_lint(json: bool, sarif_out: bool) -> ExitCode {
+/// `.rs` paths touched per git: `git diff --name-only HEAD` plus
+/// untracked files. Returns `None` (with a message) when git is
+/// unavailable — the caller falls back to a full run.
+fn git_changed_paths(root: &Path) -> Option<Vec<String>> {
+    let mut paths = Vec::new();
+    for args in [
+        &["diff", "--name-only", "HEAD"][..],
+        &["ls-files", "--others", "--exclude-standard"][..],
+    ] {
+        let out = std::process::Command::new("git")
+            .args(args)
+            .current_dir(root)
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        paths.extend(
+            String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .filter(|l| l.ends_with(".rs"))
+                .map(|l| l.trim().replace('\\', "/")),
+        );
+    }
+    paths.sort();
+    paths.dedup();
+    Some(paths)
+}
+
+fn run_lint(json: bool, sarif_out: bool, timings: bool, changed: bool, no_cache: bool) -> ExitCode {
     let root = workspace_root();
-    let report = match lint_workspace(&root) {
+    let mut opts = LintOptions {
+        apply_baseline: true,
+        cache_path: (!no_cache).then(|| PathBuf::from(CACHE_FILE)),
+        changed_paths: None,
+    };
+    if changed {
+        match git_changed_paths(&root) {
+            Some(paths) => opts.changed_paths = Some(paths),
+            None => {
+                eprintln!("xtask lint: --changed needs git; running the full report");
+            }
+        }
+    }
+    let report = match lint_workspace_with(&root, &opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: {e}");
             return ExitCode::from(2);
         }
     };
+    if timings {
+        let s = &report.stats;
+        eprintln!("xtask lint timings:");
+        eprintln!("  pass 1 (models + per-file rules): {} ms", s.pass1_ms);
+        eprintln!("  pass 2 (call graph):              {} ms", s.pass2_ms);
+        eprintln!("  pass 3 (transitive rules):        {} ms", s.pass3_ms);
+        eprintln!("  cache: {} hits, {} misses", s.cache_hits, s.cache_misses);
+    }
     if sarif_out {
         println!("{}", sarif::render(&report));
         for w in &report.warnings {

@@ -1,4 +1,4 @@
-//! Pass 1 of the two-phase lint: the lightweight item model.
+//! Pass 1 of the three-pass lint: the lightweight item model.
 //!
 //! On top of the raw token stream from [`crate::lexer`], this module
 //! recognises just enough item structure for whole-program reasoning:
@@ -76,6 +76,24 @@ impl FileModel {
     pub fn build(rel: &str, class: FileClass, source: &str) -> FileModel {
         let toks = strip_test_spans(&tokenize(source));
         let parsed = parse_items(&toks);
+        FileModel {
+            rel: rel.to_string(),
+            class,
+            toks,
+            parsed,
+        }
+    }
+
+    /// Reassembles a model from already-prepared parts — the cache
+    /// restore path ([`crate::cache`]), which stores the stripped
+    /// token stream and the parsed items but never the source text.
+    #[must_use]
+    pub fn from_parts(
+        rel: &str,
+        class: FileClass,
+        toks: Vec<Tok>,
+        parsed: ParsedFile,
+    ) -> FileModel {
         FileModel {
             rel: rel.to_string(),
             class,

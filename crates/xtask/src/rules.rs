@@ -6,16 +6,21 @@
 //!
 //! | family        | rules                         | phase                 |
 //! |---------------|-------------------------------|-----------------------|
-//! | `NF-UNIT`     | 001                           | per-file token scan   |
-//! | `NF-DET`      | 001–003 per-file, 004 closure | scan + call graph     |
-//! | `NF-PANIC`    | 001–003                       | per-file token scan   |
-//! | `NF-LEDGER`   | 001                           | per-file token scan   |
-//! | `NF-REACH`    | 001                           | call graph            |
-//! | `NF-NV`       | 001                           | call graph            |
+//! | `NF-UNIT`     | 001                           | pass 1 (per-file)     |
+//! | `NF-DET`      | 001–003 per-file, 004 closure | pass 1 + pass 3       |
+//! | `NF-PANIC`    | 001–003                       | pass 1 (per-file)     |
+//! | `NF-LEDGER`   | 001                           | pass 1 (per-file)     |
+//! | `NF-REACH`    | 001                           | pass 3 (call graph)   |
+//! | `NF-NV`       | 001                           | pass 3 (call graph)   |
+//! | `NF-ALLOC`    | 001 construction, 002 growth  | pass 3 (call graph)   |
+//! | `NF-PAR`      | 001 int. mut., 002 unordered  | pass 3 (call graph)   |
 //!
-//! The per-file rules run in pass 1 on each file's token stream; the
-//! graph rules run in pass 2 over the whole-workspace call graph built
-//! by [`crate::graph`] and print the offending call chain in their
+//! The per-file rules run in pass 1 on each file's token stream
+//! (models are rebuilt only for files whose content hash changed —
+//! see [`crate::cache`]); pass 2 links the item models into the
+//! whole-workspace call graph built by [`crate::graph`]; the graph
+//! rules run in pass 3 over it ([`crate::reach`] and
+//! [`crate::dataflow`]) and print the offending call chain in their
 //! diagnostics. Exemptions live in the allowlists below — never inline
 //! in the engine — so a reviewer can audit the complete policy in one
 //! file, and the engine warns about any entry that no longer waives a
@@ -149,6 +154,51 @@ pub const RULES: &[Rule] = &[
                     or commit/checkpoint/restore/ledger-phase functions; a \
                     stray field write reachable from an undisciplined entry \
                     point could tear NVP/NVRF state mid-power-cycle",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-ALLOC-001",
+        summary: "allocating construction reachable from the slot loop",
+        rationale: "the steady-state slot loop is allocation-free (enforced \
+                    dynamically by the counting-allocator test); a heap \
+                    construction site — Box::new/Arc::new, vec!/format!, \
+                    collect()/to_vec()/to_owned()/to_string()/clone() — \
+                    reachable from a phase function regresses the hot path \
+                    the moment a code path exercises it, so the static twin \
+                    flags it at review time with the call chain printed",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-ALLOC-002",
+        summary: "container growth reachable from the slot loop",
+        rationale: "push/extend/insert/resize and friends reallocate unless \
+                    the container was pre-sized; the slot loop's scratch \
+                    vectors are reserved once and refilled in place, so any \
+                    growth call a phase function can reach is either bounded \
+                    by a reserve (audited waiver) or a latent per-slot \
+                    allocation the counting allocator would only catch on \
+                    the path a test happens to drive",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-PAR-001",
+        summary: "interior mutability reachable from the parallel runner",
+        rationale: "the work-stealing pool guarantees parallel == serial \
+                    results; Mutex/RwLock/RefCell/Cell (or a static mut) \
+                    reachable from a worker body or a Reduce::map/fold \
+                    impl is shared state whose observation order depends \
+                    on thread scheduling — the one thing the golden tests \
+                    cannot sweep over every interleaving",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-PAR-002",
+        summary: "unordered iteration source reachable from the parallel runner",
+        rationale: "HashMap/HashSet iteration order varies run to run; a \
+                    reducer folding over one produces aggregates that differ \
+                    between worker counts even when every per-job result is \
+                    bit-identical, silently breaking the parallel == serial \
+                    guarantee the runner's re-sequencing exists to uphold",
         scope: Scope::Library,
     },
     Rule {
@@ -391,6 +441,76 @@ pub const LEDGER_METHODS: &[&str] = &[
 /// Files whose functions are the NF-REACH-001 entry points: the slot
 /// loop's phase modules.
 pub const REACH_ENTRY_GLOB: &str = "crates/core/src/sim/*.rs";
+
+/// Files whose functions are the NF-ALLOC entry points: the six
+/// per-slot phase modules. Deliberately narrower than
+/// [`REACH_ENTRY_GLOB`] — `sim/mod.rs` (setup: `Simulator::new`
+/// legitimately allocates every long-lived vector) and `sim/ctx.rs`
+/// (the warmed scratch constructor) are excluded, mirroring the
+/// warm-up window the counting-allocator test skips.
+pub const ALLOC_ENTRY_FILES: &[&str] = &[
+    "crates/core/src/sim/harvest.rs",
+    "crates/core/src/sim/wake.rs",
+    "crates/core/src/sim/balance.rs",
+    "crates/core/src/sim/compute.rs",
+    "crates/core/src/sim/transmit.rs",
+    "crates/core/src/sim/slot_end.rs",
+];
+
+/// Types whose associated constructors are heap-allocation sites for
+/// NF-ALLOC-001 (`Vec::new` itself is lazily empty, but a fresh `Vec`
+/// on the hot path exists to be grown).
+pub const ALLOC_CTOR_TYPES: &[&str] = &[
+    "Vec", "String", "VecDeque", "BTreeMap", "BTreeSet", "Box", "Rc", "Arc",
+];
+
+/// Associated-function names that, on an [`ALLOC_CTOR_TYPES`] type,
+/// construct a heap value (NF-ALLOC-001).
+pub const ALLOC_CTOR_FNS: &[&str] = &["new", "with_capacity", "from"];
+
+/// Macros that allocate their result (NF-ALLOC-001).
+pub const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Method calls that produce a freshly allocated value (NF-ALLOC-001).
+/// `.clone()` is included pessimistically — the lexer cannot see the
+/// receiver type, so cheap `Copy`-struct clones need a per-site waiver.
+pub const ALLOC_ADAPTER_METHODS: &[&str] = &["collect", "to_vec", "to_owned", "to_string", "clone"];
+
+/// Method calls that grow a container in place and may reallocate
+/// (NF-ALLOC-002). Sites against pre-reserved scratch get audited
+/// waivers; everything else is a latent per-slot allocation.
+pub const ALLOC_GROWTH_METHODS: &[&str] = &[
+    "push",
+    "push_back",
+    "push_front",
+    "extend",
+    "extend_from_slice",
+    "append",
+    "insert",
+    "resize",
+    "reserve",
+];
+
+/// Files whose functions are the NF-PAR entry points: the
+/// work-stealing runner. Worker closures, the coordinator and every
+/// `Reduce::map`/`fold` impl the pool dispatches into are reached from
+/// here through the call graph.
+pub const PAR_ENTRY_GLOB: &str = "crates/core/src/runner/*.rs";
+
+/// Interior-mutability types banned on runner-reachable paths by
+/// NF-PAR-001. Atomics are deliberately absent — the pool's own
+/// claim counter and cancellation flag are atomics, and their
+/// orderings are part of the reviewed runner design.
+pub const PAR_INTERIOR_MUT_IDENTS: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "UnsafeCell",
+    "OnceCell",
+    "OnceLock",
+    "LazyLock",
+];
 
 /// Structs whose fields are nonvolatile state under the NF-NV-001
 /// write discipline. They must be declared in one of [`NV_CRATES`];

@@ -3,16 +3,20 @@
 //! `cargo xtask lint --sarif` emits a minimal static-analysis results
 //! interchange file: one run, one driver (`neofog-xtask`), the full
 //! rule table under `tool.driver.rules`, and one `result` per
-//! non-baselined violation with its file/line location. Call chains
-//! from the graph rules are appended to the result message, since the
-//! plain SARIF location model has no good slot for them. CI uploads
-//! the file as a workflow artifact.
+//! violation with its file/line location. Baseline-waived findings are
+//! *included* with a `suppressions` entry (kind `external`, status
+//! `accepted` — the SARIF 2.1.0 suppressed state) rather than
+//! omitted, so the CI artifact shows the full picture: a viewer hides
+//! them by default but an auditor can see exactly what the baseline
+//! waives. Call chains from the graph rules are appended to the result
+//! message, since the plain SARIF location model has no good slot for
+//! them. CI uploads the file as a workflow artifact.
 //!
 //! Everything is hand-rolled JSON — the workspace builds offline with
 //! no serde backend — via [`json_str`], which the other emitters in
 //! this crate share.
 
-use crate::engine::LintReport;
+use crate::engine::{LintReport, Violation};
 use crate::rules;
 
 /// Escapes `s` as a JSON string literal (with the surrounding
@@ -58,28 +62,51 @@ pub fn render(report: &LintReport) -> String {
         ));
     }
     s.push_str("]}},\"results\":[");
-    for (i, v) in report.violations.iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for v in &report.violations {
+        if !first {
             s.push(',');
         }
-        let mut text = v.message.clone();
-        if v.chain.len() > 1 {
-            text.push_str(" [call chain: ");
-            text.push_str(&v.chain.join(" -> "));
-            text.push(']');
+        first = false;
+        s.push_str(&render_result(v, false));
+    }
+    for v in &report.suppressed {
+        if !first {
+            s.push(',');
         }
-        s.push_str(&format!(
-            "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
-             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
-             {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]}}",
-            json_str(v.rule),
-            json_str(&text),
-            json_str(&v.path),
-            v.line
-        ));
+        first = false;
+        s.push_str(&render_result(v, true));
     }
     s.push_str("]}]}");
     s
+}
+
+/// One SARIF `result`. Baselined findings carry a `suppressions`
+/// array marking them accepted externally (the baseline file) instead
+/// of disappearing from the artifact.
+fn render_result(v: &Violation, suppressed: bool) -> String {
+    let mut text = v.message.clone();
+    if v.chain.len() > 1 {
+        text.push_str(" [call chain: ");
+        text.push_str(&v.chain.join(" -> "));
+        text.push(']');
+    }
+    let suppressions = if suppressed {
+        ",\"suppressions\":[{\"kind\":\"external\",\"status\":\"accepted\",\
+         \"justification\":\"waived by lint-baseline.json\"}]"
+    } else {
+        ""
+    };
+    format!(
+        "{{\"ruleId\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+         {{\"uri\":{}}},\"region\":{{\"startLine\":{}}}}}}}]{}}}",
+        json_str(v.rule),
+        json_str(&text),
+        json_str(&v.path),
+        v.line,
+        suppressions
+    )
 }
 
 #[cfg(test)]
@@ -88,7 +115,7 @@ mod tests {
     use crate::engine::Violation;
 
     #[test]
-    fn sarif_document_has_rules_results_and_chains() {
+    fn sarif_document_has_rules_results_chains_and_suppressions() {
         let report = LintReport {
             files_checked: 1,
             violations: vec![Violation {
@@ -99,8 +126,17 @@ mod tests {
                 subject: String::new(),
                 chain: vec!["core::entry".to_string(), "core::f".to_string()],
             }],
-            baselined: 0,
+            baselined: 1,
+            suppressed: vec![Violation {
+                rule: "NF-ALLOC-001",
+                path: "crates/core/src/sim/balance.rs".to_string(),
+                line: 21,
+                message: "`core::sim::balance::run` allocates".to_string(),
+                subject: "collect".to_string(),
+                chain: Vec::new(),
+            }],
             warnings: Vec::new(),
+            stats: Default::default(),
         };
         let doc = render(&report);
         assert!(doc.contains("\"version\":\"2.1.0\""));
@@ -108,6 +144,19 @@ mod tests {
         assert!(doc.contains("\"ruleId\":\"NF-REACH-001\""));
         assert!(doc.contains("\"startLine\":7"));
         assert!(doc.contains("core::entry -> core::f"));
+        // The baselined finding appears, marked suppressed — not
+        // silently dropped.
+        assert!(doc.contains("\"ruleId\":\"NF-ALLOC-001\""));
+        assert!(doc.contains("\"suppressions\":[{\"kind\":\"external\",\"status\":\"accepted\""));
+        // The live finding carries no suppressions array.
+        let live = doc.find("NF-REACH-001").and_then(|i| {
+            doc.get(i..).map(|tail| {
+                tail.split("},{")
+                    .next()
+                    .is_some_and(|r| !r.contains("suppressions"))
+            })
+        });
+        assert_eq!(live, Some(true));
         // Every rule in the table is described.
         for r in rules::RULES {
             assert!(doc.contains(&format!("\"id\":\"{}\"", r.id)), "{}", r.id);

@@ -1,0 +1,137 @@
+//! Engine-level incremental-cache behaviour, driven through the
+//! public `lint_workspace_with` API against a scratch mini-workspace:
+//! cold start, warm restore, content-hash invalidation of exactly the
+//! edited file, corrupt-cache recovery, `--changed` scoping, and the
+//! hermetic no-cache configuration.
+
+use neofog_xtask::cache::CACHE_FILE;
+use neofog_xtask::{lint_workspace_with, LintOptions};
+use std::fs;
+use std::path::PathBuf;
+
+/// Builds a throwaway three-file workspace under the system temp dir
+/// and returns its root. Any leftover from a previous run is removed
+/// first so content hashes always start from a known state.
+fn scratch_root(name: &str) -> PathBuf {
+    let root =
+        std::env::temp_dir().join(format!("neofog-xtask-cache-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    let types = root.join("crates/types/src");
+    fs::create_dir_all(&types).unwrap();
+    fs::write(
+        types.join("lib.rs"),
+        "pub fn id_fixture(x: u64) -> u64 {\n    x\n}\n",
+    )
+    .unwrap();
+    fs::write(
+        types.join("units.rs"),
+        "pub fn unit_fixture() -> u64 {\n    7\n}\n",
+    )
+    .unwrap();
+    let core = root.join("crates/core/src");
+    fs::create_dir_all(&core).unwrap();
+    fs::write(
+        core.join("lib.rs"),
+        "pub fn core_fixture() -> u64 {\n    id_fixture(1)\n}\n",
+    )
+    .unwrap();
+    root
+}
+
+/// The cached configuration every test but the hermetic one uses.
+fn cached() -> LintOptions {
+    LintOptions {
+        apply_baseline: false,
+        cache_path: Some(PathBuf::from(CACHE_FILE)),
+        changed_paths: None,
+    }
+}
+
+#[test]
+fn cold_run_populates_the_cache_and_the_warm_run_reparses_nothing() {
+    let root = scratch_root("warm");
+    let cold = lint_workspace_with(&root, &cached()).unwrap();
+    assert_eq!(cold.files_checked, 3);
+    assert_eq!(cold.stats.cache_hits, 0, "nothing to restore on a cold run");
+    assert_eq!(cold.stats.cache_misses, 3);
+    assert!(root.join(CACHE_FILE).is_file(), "cache persisted");
+    let warm = lint_workspace_with(&root, &cached()).unwrap();
+    assert_eq!(warm.stats.cache_hits, 3, "warm run restores every model");
+    assert_eq!(warm.stats.cache_misses, 0);
+    assert_eq!(
+        warm.violations, cold.violations,
+        "cache changes nothing observable"
+    );
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn editing_one_file_invalidates_only_that_model() {
+    let root = scratch_root("edit");
+    lint_workspace_with(&root, &cached()).unwrap();
+    // The edit introduces a violation, so a hit here also proves the
+    // re-parse saw the *new* content rather than the cached model.
+    fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "pub fn core_fixture() -> u64 {\n    maybe().unwrap()\n}\n",
+    )
+    .unwrap();
+    let report = lint_workspace_with(&root, &cached()).unwrap();
+    assert_eq!(report.stats.cache_hits, 2, "untouched files stay cached");
+    assert_eq!(
+        report.stats.cache_misses, 1,
+        "only the edited file re-parses"
+    );
+    let hits: Vec<(&str, &str)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.path.as_str()))
+        .collect();
+    assert_eq!(
+        hits,
+        vec![("NF-PANIC-001", "crates/core/src/lib.rs")],
+        "{:?}",
+        report.violations
+    );
+    // `--changed` scoping on top: findings restricted to the touched
+    // path, stale-waiver warnings suppressed.
+    let scoped = lint_workspace_with(
+        &root,
+        &LintOptions {
+            changed_paths: Some(vec!["crates/core/src/lib.rs".to_string()]),
+            ..cached()
+        },
+    )
+    .unwrap();
+    assert_eq!(scoped.violations, report.violations);
+    assert!(scoped.warnings.is_empty(), "{:?}", scoped.warnings);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_cache_degrades_to_a_cold_start_and_is_rewritten() {
+    let root = scratch_root("corrupt");
+    let cache = root.join(CACHE_FILE);
+    fs::create_dir_all(cache.parent().unwrap()).unwrap();
+    fs::write(&cache, "{ this is not the cache you are looking for").unwrap();
+    let report = lint_workspace_with(&root, &cached()).unwrap();
+    assert_eq!(report.stats.cache_hits, 0, "corrupt cache restores nothing");
+    assert_eq!(report.stats.cache_misses, 3);
+    // The run replaced the garbage with a valid cache: immediately warm.
+    let warm = lint_workspace_with(&root, &cached()).unwrap();
+    assert_eq!(warm.stats.cache_hits, 3);
+    assert_eq!(warm.stats.cache_misses, 0);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn the_no_cache_configuration_stays_hermetic() {
+    let root = scratch_root("hermetic");
+    let report = lint_workspace_with(&root, &LintOptions::default()).unwrap();
+    assert_eq!(report.stats.cache_misses, 3, "every file parsed fresh");
+    assert!(
+        !root.join("target").exists(),
+        "no cache file is written without a cache_path"
+    );
+    let _ = fs::remove_dir_all(&root);
+}

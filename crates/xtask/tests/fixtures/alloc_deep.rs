@@ -1,0 +1,10 @@
+//! NF-ALLOC fixture, hop 2: a cross-crate kernel that allocates a
+//! fresh buffer and grows it. Reached from the slot loop, both site
+//! families are flagged with the full chain; without the phase entry
+//! point the same allocation is policy-free.
+
+pub fn alloc_kernel_fixture(n: usize) -> usize {
+    let mut out = Vec::with_capacity(n);
+    out.push(n);
+    out.len()
+}

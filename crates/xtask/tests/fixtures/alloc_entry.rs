@@ -1,0 +1,7 @@
+//! NF-ALLOC fixture, hop 0: a slot-loop phase function (linted at an
+//! `ALLOC_ENTRY_FILES` path) that is itself allocation-free but calls
+//! into the staging helper.
+
+pub fn compute_phase_fixture(ctx: &mut SlotCtx) -> usize {
+    stage_results_fixture(ctx)
+}

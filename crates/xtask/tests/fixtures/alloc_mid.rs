@@ -1,0 +1,7 @@
+//! NF-ALLOC fixture, hop 1: a clean same-crate helper outside the
+//! sim/ directory that forwards into an allocating kernel in another
+//! crate.
+
+pub fn stage_results_fixture(ctx: &mut SlotCtx) -> usize {
+    alloc_kernel_fixture(ctx.node_count())
+}

@@ -1,0 +1,13 @@
+//! NF-PAR fixture, hop 2: a reducer body with shared mutable state
+//! and an unordered fold source. Reached from the runner, the Mutex
+//! fires NF-PAR-001 and the HashSet fires NF-PAR-002 — and NF-DET-004
+//! too: the runner is simulation code, the helper is not, and the
+//! determinism closure overlaps the parallel discipline on unordered
+//! iteration by design.
+
+pub fn racy_reduce_fixture(n: u64) -> u64 {
+    let total = Mutex::new(n);
+    let mut seen = HashSet::new();
+    seen.insert(n);
+    total.into_inner().unwrap_or(n)
+}

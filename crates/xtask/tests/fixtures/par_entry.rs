@@ -1,0 +1,7 @@
+//! NF-PAR fixture, hop 0: a runner function (linted at a
+//! `PAR_ENTRY_GLOB` path) that is itself disciplined but dispatches
+//! into a reducer helper.
+
+pub fn worker_loop_fixture(jobs: &JobQueue) -> u64 {
+    merge_partials_fixture(jobs.take())
+}

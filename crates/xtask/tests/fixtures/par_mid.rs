@@ -1,0 +1,6 @@
+//! NF-PAR fixture, hop 1: a clean cross-crate helper that forwards
+//! into the racy reducer body.
+
+pub fn merge_partials_fixture(n: u64) -> u64 {
+    racy_reduce_fixture(n)
+}

@@ -243,9 +243,13 @@ fn runner_sources_are_fully_in_scope() {
     // The work-stealing pool is exactly where a stray wall clock,
     // hash map or unwrap would break batch determinism, so every
     // determinism and panic rule must cover crates/core/src/runner/.
+    // Since the parallel-discipline pass, runner functions are
+    // NF-PAR entry points themselves, so the HashMap line gains a
+    // second, unordered-iteration-flavoured hit on top of NF-DET-002.
     let expected = vec![
         "NF-DET-001",
         "NF-DET-002",
+        "NF-PAR-002",
         "NF-DET-003",
         "NF-PANIC-001",
         "NF-PANIC-002",
@@ -412,6 +416,156 @@ fn nv_rule_fires_when_an_undisciplined_entry_reaches_the_mutator() {
         ],
         "diagnostic shows the undisciplined path to the write"
     );
+}
+
+#[test]
+fn alloc_rules_fire_through_a_two_hop_chain_with_both_site_families() {
+    // sim phase fn -> same-crate staging helper -> cross-crate kernel
+    // that constructs a Vec (NF-ALLOC-001) and grows it
+    // (NF-ALLOC-002). Both sites carry the depth-2 chain.
+    let report = lint_sources(&[
+        (
+            "crates/core/src/sim/compute.rs",
+            include_str!("fixtures/alloc_entry.rs"),
+        ),
+        (
+            "crates/core/src/staging.rs",
+            include_str!("fixtures/alloc_mid.rs"),
+        ),
+        (
+            "crates/workloads/src/buffers.rs",
+            include_str!("fixtures/alloc_deep.rs"),
+        ),
+    ]);
+    let hits: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.path.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        hits,
+        vec![
+            ("NF-ALLOC-001", "crates/workloads/src/buffers.rs", 7),
+            ("NF-ALLOC-002", "crates/workloads/src/buffers.rs", 8),
+        ],
+        "{:?}",
+        report.violations
+    );
+    let expected_chain = vec![
+        "core::compute_phase_fixture",
+        "core::stage_results_fixture",
+        "workloads::alloc_kernel_fixture",
+    ];
+    for v in &report.violations {
+        assert_eq!(v.chain, expected_chain, "depth-2 chain on {}", v.rule);
+    }
+    let ctor = report.violations.first().expect("ctor hit");
+    assert!(
+        ctor.message.contains("allocates via `Vec::with_capacity`")
+            && ctor.message.contains("reachable from the slot loop"),
+        "{}",
+        ctor.message
+    );
+    let growth = report.violations.last().expect("growth hit");
+    assert!(
+        growth.message.contains("grows a container via `.push()`"),
+        "{}",
+        growth.message
+    );
+}
+
+#[test]
+fn alloc_rules_are_quiet_without_a_phase_entry_point() {
+    // Same helper and kernel, but nothing in ALLOC_ENTRY_FILES calls
+    // in: allocating outside the slot loop is policy-free.
+    let report = lint_sources(&[
+        (
+            "crates/core/src/staging.rs",
+            include_str!("fixtures/alloc_mid.rs"),
+        ),
+        (
+            "crates/workloads/src/buffers.rs",
+            include_str!("fixtures/alloc_deep.rs"),
+        ),
+    ]);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+}
+
+#[test]
+fn par_rules_fire_through_a_two_hop_chain_from_the_runner() {
+    // runner fn -> cross-crate merge helper -> reducer body holding a
+    // Mutex (NF-PAR-001) and folding over a HashSet (NF-PAR-002). The
+    // HashSet also fires NF-DET-004 — the runner is sim-crate code —
+    // pinning the designed overlap between the determinism closure
+    // and the parallel discipline.
+    let report = lint_sources(&[
+        (
+            "crates/core/src/runner/steal.rs",
+            include_str!("fixtures/par_entry.rs"),
+        ),
+        (
+            "crates/workloads/src/partials.rs",
+            include_str!("fixtures/par_mid.rs"),
+        ),
+        (
+            "crates/workloads/src/racy.rs",
+            include_str!("fixtures/par_deep.rs"),
+        ),
+    ]);
+    let hits: Vec<(&str, &str, u32)> = report
+        .violations
+        .iter()
+        .map(|v| (v.rule, v.path.as_str(), v.line))
+        .collect();
+    assert_eq!(
+        hits,
+        vec![
+            ("NF-PAR-001", "crates/workloads/src/racy.rs", 9),
+            ("NF-DET-004", "crates/workloads/src/racy.rs", 10),
+            ("NF-PAR-002", "crates/workloads/src/racy.rs", 10),
+        ],
+        "{:?}",
+        report.violations
+    );
+    let expected_chain = vec![
+        "core::worker_loop_fixture",
+        "workloads::merge_partials_fixture",
+        "workloads::racy_reduce_fixture",
+    ];
+    for v in &report.violations {
+        assert_eq!(v.chain, expected_chain, "depth-2 chain on {}", v.rule);
+    }
+    let mutex = report.violations.first().expect("interior-mut hit");
+    assert!(
+        mutex.message.contains("interior mutability `Mutex`")
+            && mutex.message.contains("reachable from the parallel runner"),
+        "{}",
+        mutex.message
+    );
+    let unordered = report.violations.last().expect("unordered hit");
+    assert!(
+        unordered.message.contains("unordered `HashSet`"),
+        "{}",
+        unordered.message
+    );
+}
+
+#[test]
+fn par_rules_are_quiet_without_a_runner_entry_point() {
+    // The reducer and its helper on their own: no runner file, no sim
+    // entry, so neither the parallel rules nor the determinism
+    // closure have anything to say.
+    let report = lint_sources(&[
+        (
+            "crates/workloads/src/partials.rs",
+            include_str!("fixtures/par_mid.rs"),
+        ),
+        (
+            "crates/workloads/src/racy.rs",
+            include_str!("fixtures/par_deep.rs"),
+        ),
+    ]);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
 }
 
 #[test]
