@@ -19,6 +19,17 @@
 //! memory of a 100 000-chain fleet is `O(chains × 24 bytes)` plus one
 //! in-flight result per worker, independent of how heavy the per-node
 //! metrics (or a `trace_stored` series) are.
+//!
+//! Each in-flight chain is one columnar [`Simulator`]: its hot node
+//! state lives in the struct-of-arrays kernel (DESIGN.md §14), so a
+//! worker's footprint is a handful of dense vectors plus the per-node
+//! energy curves. For *wide* chains (many positions per chain, rather
+//! than many chains), coarsen [`SimConfig::trace_dt`] toward the slot
+//! length — curve storage scales with `slots × slot_len / trace_dt`
+//! per node, and the default fine resolution is what dominates memory
+//! long before the columns do.
+//!
+//! [`Simulator`]: crate::sim::Simulator
 
 use crate::runner::{run_batch, NoProgress, PoolConfig, Progress, Reduce};
 use crate::sim::{SimConfig, SimResult};

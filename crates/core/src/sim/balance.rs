@@ -4,8 +4,12 @@
 //! The configured intra-chain balancer sees one representative per
 //! logical position (the awake clone, if any) with its Spendthrift
 //! state, reassigns the pending fog tasks, and the transfer traffic is
-//! charged to the awake nodes.
+//! charged to the awake nodes — via the balance-credit column: the
+//! per-node share is marked on every awake node, then a second sweep
+//! spends marked credits in index order (the same order the old
+//! participant list walked, without allocating it).
 
+use super::columns::{self, NodeColumns};
 use super::ctx::{Package, SlotCtx};
 use super::event::{RadioPurpose, SimEvent};
 use super::{BalancerKind, Simulator};
@@ -17,26 +21,30 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
         return;
     }
     let (parts, mut bus) = sim.split();
+    let cols = &mut *parts.nodes;
     // One representative per position: the awake clone (if any).
     let reps: Vec<Option<usize>> = parts
         .positions
         .iter()
-        .map(|phys| phys.iter().copied().find(|&i| ctx.awake[i]))
+        .map(|phys| phys.iter().copied().find(|&i| cols.awake[i]))
         .collect();
     let mut chain_nodes = Vec::with_capacity(parts.positions.len());
     let mut rep_map = Vec::with_capacity(parts.positions.len());
     for rep in &reps {
         let (state, idx) = match rep {
             Some(i) => {
-                let node = &parts.nodes[*i];
-                let level_income = ctx.income_power[*i];
+                let cold = &cols.cold[*i];
+                let level_income = cols.income_power[*i];
                 let radio = parts.cfg.node.radio;
                 let tx_reserve = radio.session_cost(parts.rf)
-                    + radio.packet_cost(parts.rf, node.cfg.package.processed_bytes) * 2.0;
-                let spare = ctx.budgets[*i]
-                    .available(&node.cap)
-                    .saturating_sub(tx_reserve);
-                let tasks: Vec<FogTask> = node
+                    + radio.packet_cost(parts.rf, cold.cfg.package.processed_bytes) * 2.0;
+                let spare = columns::budget_available(
+                    cols.direct_left[*i],
+                    cols.discharge_eff,
+                    &cols.cap[*i],
+                )
+                .saturating_sub(tx_reserve);
+                let tasks: Vec<FogTask> = cold
                     .pending
                     .iter()
                     .enumerate()
@@ -80,10 +88,10 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     // Apply the assignment: rebuild each representative's pending
     // queue from the post-balance task tags (a tag names the
     // original holder and its queue index).
-    let all_packages: Vec<Vec<Package>> = parts
-        .nodes
+    let all_packages: Vec<Vec<Package>> = cols
+        .cold
         .iter_mut()
-        .map(|n| std::mem::take(&mut n.pending))
+        .map(|c| std::mem::take(&mut c.pending))
         .collect();
     for (pos, state) in input.nodes.iter().enumerate() {
         let Some(dest) = rep_map[pos] else { continue };
@@ -91,16 +99,18 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
             let src = (task.tag >> 32) as usize;
             let k = (task.tag & 0xFFFF_FFFF) as usize;
             let pkg = all_packages[src][k];
-            parts.nodes[dest].pending.push(pkg);
+            cols.cold[dest].pending.push(pkg);
         }
     }
     // Sleeping clones keep their own pending packages (they were
     // not offered to the balancer).
     for (i, packages) in all_packages.into_iter().enumerate() {
-        if !ctx.awake[i] {
-            parts.nodes[i].pending.extend(packages);
+        if !cols.awake[i] {
+            cols.cold[i].pending.extend(packages);
         }
     }
+    // The queues were rebuilt wholesale; re-derive the depth mirror.
+    cols.sync_fifo_depths();
 
     // Charge transfer costs: each hop moves one raw package.
     if report.transfer_hops > 0 {
@@ -113,14 +123,40 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
                 .cfg
                 .system
                 .rx_cost(parts.rf, parts.cfg.node.package.raw_bytes);
-        let participants: Vec<usize> = (0..parts.nodes.len()).filter(|&i| ctx.awake[i]).collect();
-        if !participants.is_empty() {
-            let share = per_hop * report.transfer_hops as f64 / participants.len() as f64;
-            for i in participants {
-                let node = &mut parts.nodes[i];
-                // The share is charged whether or not the spend lands
-                // in full — the airtime happened either way.
-                ctx.budgets[i].spend(&mut node.cap, &mut ctx.ledgers[i], share);
+        let direct_eff = cols.direct_eff;
+        let discharge_eff = cols.discharge_eff;
+        let NodeColumns {
+            cap,
+            direct_left,
+            awake,
+            balance_credit,
+            ..
+        } = cols;
+        let participants = awake.iter().filter(|&&a| a).count();
+        if participants > 0 {
+            let share = per_hop * report.transfer_hops as f64 / participants as f64;
+            // Mark the share on every awake node...
+            for (credit, &awake) in balance_credit.iter_mut().zip(awake.iter()) {
+                if awake {
+                    *credit = share;
+                }
+            }
+            // ...then spend marked credits in index order. The share
+            // is charged whether or not the spend lands in full — the
+            // airtime happened either way.
+            for (i, (((credit, cap), direct_left), ledger)) in balance_credit
+                .iter_mut()
+                .zip(cap.iter_mut())
+                .zip(direct_left.iter_mut())
+                .zip(ctx.ledgers.iter_mut())
+                .enumerate()
+            {
+                if *credit == Energy::ZERO {
+                    continue;
+                }
+                let share = *credit;
+                *credit = Energy::ZERO;
+                columns::spend_budget(direct_left, direct_eff, discharge_eff, cap, ledger, share);
                 bus.emit(&SimEvent::RadioCharged {
                     node: i,
                     energy: share,

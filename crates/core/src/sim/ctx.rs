@@ -2,19 +2,22 @@
 //!
 //! A [`SlotCtx`] is a reusable scratch struct owned by the simulator:
 //! it is [`reset`](SlotCtx::reset) at the top of every slot and
-//! threaded through the six phases in order. It owns everything whose
-//! *lifetime* is exactly one slot (energy budgets, wake flags, income
-//! powers, conservation ledgers), but its *allocations* persist for
-//! the whole run — `reset` clears and refills in place, so after the
-//! first slot the steady-state loop performs no heap allocation here.
-//! The durable node state lives in [`NodeSim`] on the simulator.
+//! threaded through the six phases in order. It owns the per-slot
+//! state that is *not* per-node-columnar (conservation ledgers,
+//! per-position forwarding duty, package scratch); the per-node hot
+//! state — budgets, wake flags, income powers — lives in the
+//! [`NodeColumns`](super::columns::NodeColumns) arrays, reset by
+//! [`begin_slot`](super::columns::NodeColumns::begin_slot) alongside
+//! this context. Both clear and refill in place, so after the first
+//! slot the steady-state loop performs no heap allocation here.
 
+use super::columns::NodeColumns;
 use super::ledger::EnergyLedger;
 use crate::node::NodeConfig;
 use crate::sim::SimConfig;
 use neofog_energy::{EnergyCurve, Rtc, SuperCap};
 use neofog_net::slots::SlotSchedule;
-use neofog_types::{Duration, Energy, Power, SimRng};
+use neofog_types::{Duration, SimRng};
 use serde::{Deserialize, Serialize};
 
 /// Maximum fog backlog a node admits (packages); the NV buffer sheds
@@ -41,7 +44,12 @@ pub(crate) struct Package {
     pub(crate) fog_done: bool,
 }
 
-/// One physical node's live state (persists across slots).
+/// One physical node's state as a row: the construction-time shape,
+/// split into the columnar layout by
+/// [`NodeColumns::scatter`](super::columns::NodeColumns::scatter)
+/// before the first slot runs (and reassembled by `gather` in tests —
+/// the round-trip is lossless).
+#[cfg_attr(test, derive(Debug, PartialEq))]
 pub(crate) struct NodeSim {
     pub(crate) cfg: NodeConfig,
     pub(crate) cap: SuperCap,
@@ -59,64 +67,8 @@ pub(crate) struct NodeSim {
     pub(crate) rng: SimRng,
 }
 
-/// Per-slot spendable energy: a direct pool (FIOS) plus the capacitor
-/// behind a discharge regulator.
-pub(crate) struct SlotBudget {
-    pub(crate) direct_left: Energy,
-    pub(crate) direct_eff: f64,
-    pub(crate) discharge_eff: f64,
-}
-
-impl SlotBudget {
-    pub(crate) fn available(&self, cap: &SuperCap) -> Energy {
-        self.direct_left + cap.stored() * self.discharge_eff
-    }
-
-    /// Spends `amount` (at the load), direct pool first, booking the
-    /// delivery and both channels' conversion losses in the ledger.
-    /// Returns false (spending nothing) if unaffordable.
-    pub(crate) fn spend(
-        &mut self,
-        cap: &mut SuperCap,
-        ledger: &mut EnergyLedger,
-        amount: Energy,
-    ) -> bool {
-        if self.available(cap) < amount {
-            return false;
-        }
-        let from_direct = amount.min(self.direct_left);
-        self.direct_left -= from_direct;
-        if self.direct_eff > 0.0 && from_direct > Energy::ZERO {
-            // The direct channel is lossy at the point of use: raw
-            // income `from_direct / eff` delivered only `from_direct`.
-            ledger.debit_loss(from_direct / self.direct_eff - from_direct);
-        }
-        let rest = amount - from_direct;
-        if rest > Energy::ZERO {
-            let gross = rest / self.discharge_eff;
-            // Floating-point slack: available() said yes.
-            let drawn = cap.discharge_up_to(gross);
-            debug_assert!(drawn >= gross * 0.999);
-            ledger.debit_loss(drawn.saturating_sub(rest));
-        }
-        ledger.debit_consumed(amount);
-        true
-    }
-
-    /// Returns the unspent direct pool converted back to raw income.
-    pub(crate) fn leftover_income(&mut self) -> Energy {
-        let left = self.direct_left;
-        self.direct_left = Energy::ZERO;
-        if self.direct_eff > 0.0 {
-            left / self.direct_eff
-        } else {
-            left
-        }
-    }
-}
-
-/// Everything whose lifetime is exactly one slot, with allocations
-/// that last the whole run (see the module docs).
+/// The non-columnar per-slot state, with allocations that last the
+/// whole run (see the module docs).
 #[derive(Default)]
 pub(crate) struct SlotCtx {
     /// Slot index.
@@ -125,12 +77,6 @@ pub(crate) struct SlotCtx {
     pub(crate) t0: Duration,
     /// Slot end in simulated time.
     pub(crate) t1: Duration,
-    /// Per-node spendable budgets (filled by the harvest phase).
-    pub(crate) budgets: Vec<SlotBudget>,
-    /// Per-node wake flags (set by the wake phase).
-    pub(crate) awake: Vec<bool>,
-    /// Per-node mean income power over the slot (pre-RTC).
-    pub(crate) income_power: Vec<Power>,
     /// One conservation ledger per node, opened against the stored
     /// level entering the slot and settled at slot end.
     pub(crate) ledgers: Vec<EnergyLedger>,
@@ -148,9 +94,6 @@ impl SlotCtx {
     /// slots only fill — never grow — them.
     pub(crate) fn warmed(n_phys: usize, n_pos: usize) -> Self {
         let mut ctx = SlotCtx::default();
-        ctx.budgets.reserve(n_phys);
-        ctx.awake.reserve(n_phys);
-        ctx.income_power.reserve(n_phys);
         ctx.ledgers.reserve(n_phys);
         ctx.forward_bytes.reserve(n_pos);
         ctx.pkg_scratch.reserve(QUEUE_RESERVE);
@@ -160,21 +103,14 @@ impl SlotCtx {
     /// Resets the context for `slot`, opening one ledger per node.
     /// Clears and refills every per-slot vector in place so their
     /// capacity survives from slot to slot.
-    pub(crate) fn reset(&mut self, cfg: &SimConfig, nodes: &[NodeSim], slot: u64) {
+    pub(crate) fn reset(&mut self, cfg: &SimConfig, nodes: &NodeColumns, slot: u64) {
         let t0 = Duration::from_micros(slot * cfg.slot_len.as_micros());
-        let n_phys = nodes.len();
         self.slot = slot;
         self.t0 = t0;
         self.t1 = t0 + cfg.slot_len;
-        self.budgets.clear();
-        self.budgets.reserve(n_phys);
-        self.awake.clear();
-        self.awake.resize(n_phys, false);
-        self.income_power.clear();
-        self.income_power.resize(n_phys, Power::ZERO);
         self.ledgers.clear();
         self.ledgers
-            .extend(nodes.iter().map(|n| EnergyLedger::open(n.cap.stored())));
+            .extend(nodes.cap.iter().map(|c| EnergyLedger::open(c.stored())));
         self.forward_bytes.clear();
         self.pkg_scratch.clear();
     }

@@ -5,7 +5,14 @@
 //! capacitors self-discharge, volatile nodes lose their queues at
 //! power-down, and each node's conservation ledger settles into a
 //! [`SimEvent::LedgerSettled`] event for the observers to audit.
+//!
+//! The sweep zips the capacitor, direct-pool and FIFO-depth columns
+//! against the cold rows; the metered capacitor accessors
+//! (`charge_metered`, `leak_metered`) return the deltas the ledger
+//! books, so each element is a single call instead of a
+//! read-mutate-read sequence.
 
+use super::columns::{self, NodeColumns};
 use super::ctx::SlotCtx;
 use super::event::{ShedReason, SimEvent};
 use super::Simulator;
@@ -15,28 +22,38 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     let (parts, mut bus) = sim.split();
     let system = parts.cfg.system;
     let slot_len = parts.cfg.slot_len;
-    for (i, ((budget, node), ledger)) in ctx
-        .budgets
+    let retains_state = system.retains_state();
+    let direct_eff = parts.nodes.direct_eff;
+    let NodeColumns {
+        cap,
+        fifo_depth,
+        direct_left,
+        cold,
+        ..
+    } = &mut *parts.nodes;
+    for (i, ((((cap, direct_left), fifo_depth), cold), ledger)) in cap
         .iter_mut()
-        .zip(parts.nodes.iter_mut())
+        .zip(direct_left.iter_mut())
+        .zip(fifo_depth.iter_mut())
+        .zip(cold.iter_mut())
         .zip(ctx.ledgers.iter_mut())
         .enumerate()
     {
         // Unspent direct income charges the capacitor.
-        let leftover = budget.leftover_income();
+        let leftover = columns::leftover_income(direct_left, direct_eff);
         if leftover > Energy::ZERO {
-            let level = node.cap.stored();
-            let rejected = node.cap.charge(leftover);
-            ledger.debit_loss(leftover.saturating_sub(node.cap.stored().saturating_sub(level)));
-            bus.emit(&SimEvent::CapacitorOverflow { node: i, rejected });
+            let receipt = cap.charge_metered(leftover);
+            ledger.debit_loss(leftover.saturating_sub(receipt.banked));
+            bus.emit(&SimEvent::CapacitorOverflow {
+                node: i,
+                rejected: receipt.rejected,
+            });
         }
-        let level = node.cap.stored();
-        node.cap.leak(slot_len);
-        let leaked = level.saturating_sub(node.cap.stored());
+        let leaked = cap.leak_metered(slot_len);
         ledger.debit_leak(leaked);
-        if !system.retains_state() {
+        if !retains_state {
             // Volatile node: queues evaporate at power-down.
-            let lost = (node.pending.len() + node.outbox.len()) as u64;
+            let lost = (cold.pending.len() + cold.outbox.len()) as u64;
             if lost > 0 {
                 bus.emit(&SimEvent::PackageShed {
                     node: i,
@@ -44,15 +61,16 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
                     reason: ShedReason::Volatile,
                 });
             }
-            node.pending.clear();
-            node.outbox.clear();
+            cold.pending.clear();
+            cold.outbox.clear();
+            *fifo_depth = 0;
         }
         bus.emit(&SimEvent::CapacitorLeaked {
             node: i,
             leaked,
-            stored: node.cap.stored(),
+            stored: cap.stored(),
         });
-        if let Some(settled) = ledger.settlement(i, node.cap.stored()) {
+        if let Some(settled) = ledger.settlement(i, cap.stored()) {
             bus.emit(&settled);
         }
     }

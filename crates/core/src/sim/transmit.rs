@@ -6,6 +6,15 @@
 //! transparently (§2.3), so delivery succeeds with the measured
 //! per-hop probability compounded over the hop count, and awake
 //! intermediate nodes are charged forwarding airtime.
+//!
+//! Relay duty is accumulated as a *difference array*: each packet
+//! marks its byte count at its source position (one store), and a
+//! single reverse suffix-sum after the send loop turns the marks into
+//! per-position duty — every position relays exactly the bytes sourced
+//! strictly above it. The row pipeline walked `forward_bytes[0..pos]`
+//! per packet, which made a full-chain slot O(positions²); the marks
+//! are integers, so the suffix-sum reassociation is exact and the
+//! charged duties are bit-identical.
 
 use super::ctx::SlotCtx;
 use super::event::{RadioPurpose, SimEvent};
@@ -17,40 +26,44 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
     let radio = parts.cfg.node.radio;
     let session = radio.session_cost(parts.rf);
     let n_pos = parts.positions.len();
-    // Forwarding duty (airtime) accumulated per position this slot
+    // Per-position relay marks this slot, folded into duty below
     // (scratch vector: capacity persists across slots).
     ctx.forward_bytes.resize(n_pos, 0);
 
     for i in 0..parts.nodes.len() {
-        if !ctx.awake[i] || parts.nodes[i].outbox.is_empty() {
+        if !parts.nodes.awake[i] {
             continue;
         }
-        let position = parts.nodes[i].position;
+        let mut view = parts.nodes.view(i);
+        if view.outbox.is_empty() {
+            continue;
+        }
+        let position = view.position;
         // Processed packages first: smaller and more valuable. A
         // stable two-pass partition through the package scratch keeps
         // the relative order `sort_by_key` gave without its potential
         // temporary allocation.
         ctx.pkg_scratch.clear();
         ctx.pkg_scratch
-            .extend(parts.nodes[i].outbox.iter().filter(|p| p.fog_done));
+            .extend(view.outbox.iter().filter(|p| p.fog_done));
         ctx.pkg_scratch
-            .extend(parts.nodes[i].outbox.iter().filter(|p| !p.fog_done));
-        parts.nodes[i].outbox.clear();
-        parts.nodes[i].outbox.extend_from_slice(&ctx.pkg_scratch);
+            .extend(view.outbox.iter().filter(|p| !p.fog_done));
+        view.outbox.clear();
+        view.outbox.extend_from_slice(&ctx.pkg_scratch);
         // Open the session only when the first packet is payable
         // too — bringing the radio up and then browning out before
         // anything is sent would waste the whole session.
-        let first = parts.nodes[i].outbox[0];
+        let first = view.outbox[0];
         let first_bytes = if first.fog_done {
-            parts.nodes[i].cfg.package.processed_bytes
+            view.cfg.package.processed_bytes
         } else {
-            parts.nodes[i].cfg.package.raw_bytes
+            view.cfg.package.raw_bytes
         };
         let first_cost = radio.packet_cost(parts.rf, first_bytes);
-        if ctx.budgets[i].available(&parts.nodes[i].cap) < session + first_cost {
+        if view.available() < session + first_cost {
             continue;
         }
-        if !ctx.budgets[i].spend(&mut parts.nodes[i].cap, &mut ctx.ledgers[i], session) {
+        if !view.spend(&mut ctx.ledgers[i], session) {
             continue;
         }
         bus.emit(&SimEvent::RadioCharged {
@@ -59,14 +72,14 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
             purpose: RadioPurpose::Session,
         });
         let hops = position as u32; // hops to the sink edge
-        while let Some(pkg) = parts.nodes[i].outbox.first().copied() {
+        while let Some(pkg) = view.outbox.first().copied() {
             let bytes = if pkg.fog_done {
-                parts.nodes[i].cfg.package.processed_bytes
+                view.cfg.package.processed_bytes
             } else {
-                parts.nodes[i].cfg.package.raw_bytes
+                view.cfg.package.raw_bytes
             };
             let cost = radio.packet_cost(parts.rf, bytes);
-            if !ctx.budgets[i].spend(&mut parts.nodes[i].cap, &mut ctx.ledgers[i], cost) {
+            if !view.spend(&mut ctx.ledgers[i], cost) {
                 break;
             }
             bus.emit(&SimEvent::RadioCharged {
@@ -74,17 +87,16 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
                 energy: cost,
                 purpose: RadioPurpose::Packet,
             });
-            parts.nodes[i].outbox.remove(0);
+            view.outbox.remove(0);
             // End-to-end delivery through the transparent MAC:
             // per-hop loss compounded over the chain.
             let delivered = {
                 let p = parts.loss.chain_success(hops + 1);
-                parts.nodes[i].rng.chance(p)
+                view.rng.chance(p)
             };
-            // Relay duty accrues at intermediate positions.
-            for pb in ctx.forward_bytes.iter_mut().take(position) {
-                *pb += u64::from(bytes);
-            }
+            // Relay duty: mark the bytes at the source position; the
+            // suffix-sum below credits them to every position under it.
+            ctx.forward_bytes[position] += u64::from(bytes);
             let origin = pkg.origin;
             if delivered {
                 bus.emit(&SimEvent::PackageDelivered {
@@ -97,20 +109,33 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
         }
     }
 
+    // Fold the per-source marks into per-position relay duty: the duty
+    // at a position is the byte total sourced strictly above it.
+    let mut running = 0u64;
+    for mark in ctx.forward_bytes.iter_mut().rev() {
+        let sourced = *mark;
+        *mark = running;
+        running += sourced;
+    }
+
     // Charge forwarding airtime to awake representatives of the
     // relay positions (RX + TX per byte).
     for (pos, &bytes) in ctx.forward_bytes.iter().enumerate() {
         if bytes == 0 {
             continue;
         }
-        let Some(rep) = parts.positions[pos].iter().copied().find(|&i| ctx.awake[i]) else {
+        let Some(rep) = parts.positions[pos]
+            .iter()
+            .copied()
+            .find(|&i| parts.nodes.awake[i])
+        else {
             continue;
         };
         let per_byte =
             parts.rf.active_power * Duration::from_micros(2 * parts.rf.on_air_per_byte_us);
         let duty = per_byte * bytes as f64;
-        let node = &mut parts.nodes[rep];
-        if ctx.budgets[rep].spend(&mut node.cap, &mut ctx.ledgers[rep], duty) {
+        let mut view = parts.nodes.view(rep);
+        if view.spend(&mut ctx.ledgers[rep], duty) {
             bus.emit(&SimEvent::RadioCharged {
                 node: rep,
                 energy: duty,

@@ -96,3 +96,19 @@ fn multiplexed_slot_loop_is_allocation_free_after_warmup() {
     let allocs = steady_state_allocs(cfg, 16);
     assert_eq!(allocs, 0, "multiplex-3 steady state allocated {allocs}");
 }
+
+#[test]
+fn wide_chain_columnar_sweeps_are_allocation_free_after_warmup() {
+    // A 1000-position chain: the columnar sweeps (harvest, wake,
+    // compute skip, transmit relay fold, slot end) each walk
+    // thousand-element columns, and `begin_slot`'s in-place fills plus
+    // the transmit suffix-sum must not regrow anything. The trace
+    // resolution is coarsened to the slot length so the per-node
+    // curves stay small at this width.
+    let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+    cfg.positions = 1_000;
+    cfg.slots = 60;
+    cfg.trace_dt = cfg.slot_len;
+    let allocs = steady_state_allocs(cfg, 16);
+    assert_eq!(allocs, 0, "wide-chain steady state allocated {allocs}");
+}

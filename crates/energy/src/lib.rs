@@ -47,5 +47,5 @@ pub use curve::EnergyCurve;
 pub use frontend::{Delivery, FrontEnd};
 pub use harvester::{Harvester, HarvesterKind};
 pub use rtc::Rtc;
-pub use supercap::{CapStats, SuperCap};
+pub use supercap::{CapStats, ChargeReceipt, SuperCap};
 pub use trace::{ChainPlan, PowerTrace, Scenario, TraceGenerator};

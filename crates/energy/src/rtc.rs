@@ -108,6 +108,16 @@ impl Rtc {
         }
     }
 
+    /// [`charge_with_priority`](Rtc::charge_with_priority) followed by
+    /// [`advance`](Rtc::advance), in one call — one RTC touch per
+    /// element in the harvest sweep. Returns the income left over for
+    /// the node's main capacitor.
+    pub fn tick(&mut self, income: Energy, elapsed: Duration) -> Energy {
+        let leftover = self.charge_with_priority(income);
+        self.advance(elapsed);
+        leftover
+    }
+
     /// Attempts resynchronization; succeeds only if the RTC capacitor
     /// holds at least `cost` (the network-rejoin energy), which is
     /// consumed.

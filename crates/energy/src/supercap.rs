@@ -26,6 +26,19 @@ pub struct CapStats {
     pub delivered: Energy,
 }
 
+/// What one metered charge call did to the store: the observed
+/// stored-level delta plus the share turned away. See
+/// [`SuperCap::charge_metered`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChargeReceipt {
+    /// Observed stored-level increase (exactly `stored_after −
+    /// stored_before`, so callers booking conservation against the
+    /// level never re-read the store).
+    pub banked: Energy,
+    /// Energy turned away because the capacitor was full (input-side).
+    pub rejected: Energy,
+}
+
 /// A super-capacitor with finite capacity, charge-efficiency loss and
 /// self-leakage.
 ///
@@ -197,6 +210,29 @@ impl SuperCap {
         let loss = (self.leak_power * elapsed).min(self.stored);
         self.stored -= loss;
         self.stats.leaked += loss;
+    }
+
+    /// [`charge`](SuperCap::charge) plus the observed stored-level
+    /// delta, in one call — the columnar sweeps' alternative to
+    /// reading `stored()` around a `charge()`. The `banked` field is
+    /// the literal level difference (not the internal post-loss
+    /// figure), so ledger arithmetic built on it is bit-identical to
+    /// the read–charge–read sequence it replaces.
+    pub fn charge_metered(&mut self, input: Energy) -> ChargeReceipt {
+        let before = self.stored;
+        let rejected = self.charge(input);
+        ChargeReceipt {
+            banked: self.stored.saturating_sub(before),
+            rejected,
+        }
+    }
+
+    /// [`leak`](SuperCap::leak) plus the observed stored-level drop,
+    /// in one call.
+    pub fn leak_metered(&mut self, elapsed: Duration) -> Energy {
+        let before = self.stored;
+        self.leak(elapsed);
+        before.saturating_sub(self.stored)
     }
 }
 

@@ -1,6 +1,7 @@
 //! CLI entry point for `cargo xtask`.
 
 use neofog_xtask::baseline::{Baseline, BASELINE_FILE};
+use neofog_xtask::bench_snapshot::{self, SNAPSHOT_FILE};
 use neofog_xtask::cache::CACHE_FILE;
 use neofog_xtask::rules::{self, Scope};
 use neofog_xtask::{
@@ -20,6 +21,10 @@ commands:
        [--changed]          report findings only for files touched per git
        [--no-cache]         skip the model cache (target/xtask/model-cache.json)
   rules                     print the rule table with rationales
+  bench-snapshot            run the slot_kernel bench and record BENCH_slot_kernel.json
+       [--check]            compare against the checked-in snapshot instead of
+                            rewriting it; fail on a >15% per-iteration regression
+                            (cap the sweep via NEOFOG_SLOT_KERNEL_MAX_NODES)
 
 exit status: 0 clean, 1 violations found, 2 usage / unknown rule / I/O error";
 
@@ -67,6 +72,19 @@ fn main() -> ExitCode {
         Some("rules") => {
             print_rules();
             ExitCode::SUCCESS
+        }
+        Some("bench-snapshot") => {
+            let mut check = false;
+            for flag in it {
+                match flag {
+                    "--check" => check = true,
+                    other => {
+                        eprintln!("unknown flag `{other}`\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            run_bench_snapshot(check)
         }
         _ => {
             eprintln!("{USAGE}");
@@ -190,6 +208,73 @@ fn run_update_baseline() -> ExitCode {
         baseline.total()
     );
     ExitCode::SUCCESS
+}
+
+/// Runs the `slot_kernel` bench in release mode and either records the
+/// snapshot (merging with any checked-in entries the capped sweep
+/// skipped) or, with `--check`, diffs the run against the snapshot.
+fn run_bench_snapshot(check: bool) -> ExitCode {
+    let root = workspace_root();
+    eprintln!("xtask bench-snapshot: running `cargo bench -p neofog-bench --bench slot_kernel`");
+    let out = match std::process::Command::new("cargo")
+        .args(["bench", "-p", "neofog-bench", "--bench", "slot_kernel"])
+        .current_dir(&root)
+        .output()
+    {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("xtask bench-snapshot: cannot run cargo: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    if !out.status.success() {
+        eprintln!("xtask bench-snapshot: bench run failed:");
+        eprintln!("{}", String::from_utf8_lossy(&out.stderr));
+        return ExitCode::from(2);
+    }
+    let measured = bench_snapshot::parse_bench_output(&stdout);
+    if measured.is_empty() {
+        eprintln!("xtask bench-snapshot: no slot_kernel lines in the bench output");
+        return ExitCode::from(2);
+    }
+    for e in &measured {
+        println!(
+            "nodes/{}: {} ns/iter ({} elem/s)",
+            e.nodes, e.per_iter_ns, e.elem_per_s
+        );
+    }
+    let path = root.join(SNAPSHOT_FILE);
+    let existing = std::fs::read_to_string(&path)
+        .map(|text| bench_snapshot::parse_snapshot(&text))
+        .unwrap_or_default();
+    if check {
+        let problems = bench_snapshot::regressions(&existing, &measured);
+        if problems.is_empty() {
+            println!(
+                "xtask bench-snapshot: OK ({} point(s) within {:.0} % of {SNAPSHOT_FILE})",
+                measured.len(),
+                bench_snapshot::REGRESSION_TOLERANCE * 100.0
+            );
+            return ExitCode::SUCCESS;
+        }
+        for p in &problems {
+            println!("regression: {p}");
+        }
+        ExitCode::from(1)
+    } else {
+        let merged = bench_snapshot::merge(&existing, &measured);
+        if let Err(e) = std::fs::write(&path, bench_snapshot::render(&merged)) {
+            eprintln!("xtask bench-snapshot: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "xtask bench-snapshot: wrote {} ({} point(s))",
+            path.display(),
+            merged.len()
+        );
+        ExitCode::SUCCESS
+    }
 }
 
 fn explain_rule(id: &str) -> ExitCode {
