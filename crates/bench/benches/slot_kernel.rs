@@ -28,6 +28,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use neofog_core::sim::{BalancerKind, SimConfig, Simulator};
 use neofog_core::SystemKind;
 use neofog_energy::Scenario;
+use neofog_net::TopologySpec;
 
 /// Slot window the steady-state driver cycles through.
 const WINDOW_SLOTS: u64 = 32;
@@ -62,6 +63,40 @@ fn bench_slot_kernel(c: &mut Criterion) {
         sim.advance(WARMUP_SLOTS);
         group.throughput(Throughput::Elements(nodes as u64));
         group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
+            b.iter(|| sim.advance(1));
+        });
+    }
+    // Mesh and tiered variants exercise the generalized route sweep.
+    // The sweep itself stays O(positions); the 10⁴ cap is the ER
+    // *generator*'s O(n²) pair sampling at build time.
+    for nodes in [1_000usize, 10_000] {
+        if nodes > cap {
+            continue;
+        }
+        let mut cfg = chain_cfg(nodes);
+        cfg.topology = TopologySpec::ErdosRenyi {
+            edge_prob: (4.0 / nodes as f64).min(1.0),
+            seed: 7,
+        };
+        let mut sim = Simulator::new(cfg).expect("valid config");
+        sim.advance(WARMUP_SLOTS);
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::new("mesh", nodes), &nodes, |b, _| {
+            b.iter(|| sim.advance(1));
+        });
+    }
+    for nodes in [1_000usize, 10_000] {
+        if nodes > cap {
+            continue;
+        }
+        let mut cfg = chain_cfg(nodes);
+        cfg.topology = TopologySpec::Tiered {
+            gateways: (nodes / 100).max(1),
+        };
+        let mut sim = Simulator::new(cfg).expect("valid config");
+        sim.advance(WARMUP_SLOTS);
+        group.throughput(Throughput::Elements(nodes as u64));
+        group.bench_with_input(BenchmarkId::new("tiered", nodes), &nodes, |b, _| {
             b.iter(|| sim.advance(1));
         });
     }

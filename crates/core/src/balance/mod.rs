@@ -17,13 +17,17 @@
 pub mod distributed;
 pub mod dp;
 pub mod none;
+pub mod offload;
 pub mod tree;
 
 pub use distributed::DistributedBalancer;
 pub use dp::{partition_tasks, Assignment, Side};
 pub use none::NoBalancer;
+pub use offload::{OffloadBalancer, OffloadDecision, OffloadTarget};
 pub use tree::TreeBalancer;
 
+use crate::node::NodeCapabilities;
+use neofog_net::NodeTier;
 use neofog_types::{Energy, NodeId, SimRng};
 use serde::{Deserialize, Serialize};
 
@@ -115,6 +119,26 @@ pub struct BalanceReport {
     pub interrupted_regions: u64,
 }
 
+/// The immutable routing and capability context a topology-aware
+/// balancer prices decisions against: per-position route-plan slices
+/// (indexed like [`ChainBalanceInput::nodes`]) plus the package
+/// geometry. Built by the simulator's balance phase from its
+/// [`RoutePlan`](neofog_net::RoutePlan) every round; balancers only
+/// read it.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteContext<'a> {
+    /// Hop count from each position to the sink.
+    pub hops_to_sink: &'a [u32],
+    /// Next hop of each position ([`neofog_net::NO_HOP`] at the sink).
+    pub next_hop: &'a [u32],
+    /// Tier of each position.
+    pub tier: &'a [NodeTier],
+    /// Capability row of each position.
+    pub caps: &'a [NodeCapabilities],
+    /// Raw (unprocessed) package size — what an offloaded task ships.
+    pub raw_bytes: u32,
+}
+
 /// A chain-level load-balancing strategy.
 pub trait LoadBalancer: Send + Sync {
     /// Short name for reports.
@@ -122,6 +146,24 @@ pub trait LoadBalancer: Send + Sync {
 
     /// Redistributes tasks in place and reports what moved.
     fn balance(&self, chain: &mut ChainBalanceInput, rng: &mut SimRng) -> BalanceReport;
+
+    /// Topology-aware entry point: redistributes tasks with the route
+    /// plan and per-position capabilities in view, appending any
+    /// offload decisions taken. The default ignores the routing
+    /// context and defers to [`LoadBalancer::balance`] — the chain
+    /// balancers behave (and log) exactly as before — while
+    /// [`OffloadBalancer`] overrides it with the front-end-priced
+    /// compute-here / ship-to-neighbour / ship-to-cloud choice.
+    fn balance_routed(
+        &self,
+        chain: &mut ChainBalanceInput,
+        route: &RouteContext<'_>,
+        rng: &mut SimRng,
+        decisions: &mut Vec<OffloadDecision>,
+    ) -> BalanceReport {
+        let _ = (route, decisions);
+        self.balance(chain, rng)
+    }
 }
 
 #[cfg(test)]

@@ -48,10 +48,10 @@ pub mod timeline;
 
 pub use balance::{
     BalanceReport, ChainBalanceInput, DistributedBalancer, LoadBalancer, NoBalancer,
-    NodeBalanceState, TreeBalancer,
+    NodeBalanceState, OffloadBalancer, OffloadDecision, OffloadTarget, RouteContext, TreeBalancer,
 };
 pub use metrics::{NetworkMetrics, NodeMetrics};
-pub use node::{NodeConfig, PackageSpec, SystemKind};
+pub use node::{NodeCapabilities, NodeConfig, PackageSpec, SystemKind, TierCapabilities};
 pub use nvd4q::{CloneSet, VirtualizationManager};
 pub use runner::{run_batch, CollectAll, NoProgress, PoolConfig, Progress, Reduce, StderrTicker};
 pub use sim::{

@@ -52,6 +52,10 @@ pub struct NetworkMetrics {
     pub balance_tasks_moved: u64,
     /// Hop transmissions spent on balancing.
     pub balance_transfer_hops: u64,
+    /// Offload decisions resolved (including decisions to hold).
+    pub offload_decisions: u64,
+    /// Tasks shipped off their capturing node by offload decisions.
+    pub offload_shipped_tasks: u64,
 }
 
 impl NetworkMetrics {

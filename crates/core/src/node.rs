@@ -246,6 +246,106 @@ impl PackageSpec {
     }
 }
 
+/// Per-node platform capabilities, in the spirit of FogLite's
+/// `NODES_CONFIG` rows: how fast the node computes relative to the
+/// paper's sensor MCU, its radio front-end power envelope and its link
+/// rates. One row is derived per topology tier (see
+/// [`TierCapabilities`]) and carried on every node's cold state.
+///
+/// The radio fields feed the Kryszkiewicz et al. offload energy model
+/// (arXiv:2104.12913): shipping a task's data costs the front-end
+/// `max_power × transfer_time + idle_power × base_latency`, where the
+/// transfer time is rate-dependent — see
+/// [`NodeCapabilities::ship_energy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeCapabilities {
+    /// Execution-speed multiplier on the Spendthrift throughput
+    /// (1.0 = the paper's sensor node).
+    pub compute_rate: f64,
+    /// Radio front-end idle (listening/settling) power.
+    pub idle_power: Power,
+    /// Radio front-end transmit power at full rate.
+    pub max_power: Power,
+    /// Uplink rate toward the sink, in Mbit/s.
+    pub uplink_mbps: f64,
+    /// Downlink rate from the sink, in Mbit/s.
+    pub downlink_mbps: f64,
+    /// Fixed per-transfer latency (association, settling).
+    pub base_latency: Duration,
+}
+
+impl NodeCapabilities {
+    /// Front-end energy to ship `bytes` one hop up the node's uplink,
+    /// per the Kryszkiewicz model: transmit power for the
+    /// rate-dependent transfer time, plus idle power over the fixed
+    /// latency while the front-end waits on the link.
+    #[must_use]
+    pub fn ship_energy(&self, bytes: u32) -> Energy {
+        let bits = f64::from(bytes) * 8.0;
+        let transfer_secs = bits / (self.uplink_mbps.max(1e-9) * 1e6);
+        let tx = Energy::from_nanojoules(self.max_power.as_watts() * transfer_secs * 1e9);
+        tx + self.idle_power * self.base_latency
+    }
+}
+
+/// The capability table of a topology: one [`NodeCapabilities`] row
+/// per [`NodeTier`](neofog_net::NodeTier). Chains are all-sensor, so
+/// the sensor row is the only one the paper's goldens ever exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TierCapabilities {
+    /// Harvesting sensor nodes (the paper's node; `compute_rate` 1.0).
+    pub sensor: NodeCapabilities,
+    /// Mains-assisted gateways.
+    pub gateway: NodeCapabilities,
+    /// The cloud endpoint.
+    pub cloud: NodeCapabilities,
+}
+
+impl TierCapabilities {
+    /// FogLite-inspired defaults: sensors at the paper's operating
+    /// point on a slow LPWAN-class uplink, gateways 2× faster on a
+    /// broadband link, the cloud 8× faster behind a WAN round-trip.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        TierCapabilities {
+            sensor: NodeCapabilities {
+                compute_rate: 1.0,
+                idle_power: Power::from_milliwatts(4.0),
+                max_power: Power::from_milliwatts(89.1),
+                uplink_mbps: 0.25,
+                downlink_mbps: 0.25,
+                base_latency: Duration::from_millis(2),
+            },
+            gateway: NodeCapabilities {
+                compute_rate: 2.0,
+                idle_power: Power::from_milliwatts(12.0),
+                max_power: Power::from_milliwatts(180.0),
+                uplink_mbps: 8.0,
+                downlink_mbps: 8.0,
+                base_latency: Duration::from_millis(5),
+            },
+            cloud: NodeCapabilities {
+                compute_rate: 8.0,
+                idle_power: Power::from_milliwatts(50.0),
+                max_power: Power::from_milliwatts(500.0),
+                uplink_mbps: 100.0,
+                downlink_mbps: 100.0,
+                base_latency: Duration::from_millis(20),
+            },
+        }
+    }
+
+    /// The capability row of a tier.
+    #[must_use]
+    pub fn for_tier(&self, tier: neofog_net::NodeTier) -> NodeCapabilities {
+        match tier {
+            neofog_net::NodeTier::Sensor => self.sensor,
+            neofog_net::NodeTier::Gateway => self.gateway,
+            neofog_net::NodeTier::Cloud => self.cloud,
+        }
+    }
+}
+
 /// Full configuration of one simulated node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct NodeConfig {
@@ -348,6 +448,33 @@ mod tests {
         // The fog task at the base operating point costs ~15 mJ.
         let e = p.fog_instructions as f64 * 2.508e-6; // mJ
         assert!((e - 15.048).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ship_energy_follows_the_front_end_model() {
+        let caps = TierCapabilities::paper_default().sensor;
+        // 64 bytes = 512 bits over 0.25 Mbit/s = 2.048 ms at 89.1 mW,
+        // plus 2 ms idle at 4 mW.
+        let e = caps.ship_energy(64);
+        let expected_uj = 89.1 * 2.048 + 4.0 * 2.0;
+        assert!((e.as_microjoules() - expected_uj).abs() < 1e-6);
+        // Faster uplinks ship the same bytes cheaper.
+        let cloud = TierCapabilities::paper_default().cloud;
+        let scaled = NodeCapabilities {
+            uplink_mbps: cloud.uplink_mbps,
+            ..caps
+        };
+        assert!(scaled.ship_energy(64) < e);
+    }
+
+    #[test]
+    fn tier_lookup_matches_fields() {
+        let t = TierCapabilities::paper_default();
+        assert_eq!(t.for_tier(neofog_net::NodeTier::Sensor), t.sensor);
+        assert_eq!(t.for_tier(neofog_net::NodeTier::Gateway), t.gateway);
+        assert_eq!(t.for_tier(neofog_net::NodeTier::Cloud), t.cloud);
+        assert!((t.sensor.compute_rate - 1.0).abs() < f64::EPSILON);
+        assert!(t.cloud.compute_rate > t.gateway.compute_rate);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use super::columns::{self, NodeColumns};
 use super::ctx::{Package, SlotCtx};
 use super::event::{RadioPurpose, SimEvent};
 use super::{BalancerKind, Simulator};
-use crate::balance::{ChainBalanceInput, FogTask, NodeBalanceState};
+use crate::balance::{ChainBalanceInput, FogTask, NodeBalanceState, RouteContext};
 use neofog_types::{Energy, NodeId};
 
 pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
@@ -30,7 +30,7 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
         .collect();
     let mut chain_nodes = Vec::with_capacity(parts.positions.len());
     let mut rep_map = Vec::with_capacity(parts.positions.len());
-    for rep in &reps {
+    for (pos, rep) in reps.iter().enumerate() {
         let (state, idx) = match rep {
             Some(i) => {
                 let cold = &cols.cold[*i];
@@ -55,7 +55,10 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
                         node: NodeId::new(*i as u32),
                         spare_energy: spare,
                         efficiency: parts.spendthrift.efficiency(level_income),
-                        throughput: parts.spendthrift.throughput(level_income),
+                        // Tier capability scales execution speed
+                        // (×1.0 exact on all-sensor chains).
+                        throughput: parts.spendthrift.throughput(level_income)
+                            * parts.caps[pos].compute_rate,
                         tasks,
                         alive: true,
                     },
@@ -78,12 +81,36 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
         rep_map.push(idx);
     }
     let mut input = ChainBalanceInput { nodes: chain_nodes };
-    let report = parts.balancer.balance(&mut input, parts.rng);
+    let route = RouteContext {
+        hops_to_sink: parts.route.hops_slice(),
+        next_hop: parts.route.next_hop_slice(),
+        tier: parts.route.tier_slice(),
+        caps: parts.caps,
+        raw_bytes: parts.cfg.node.package.raw_bytes,
+    };
+    ctx.offload.clear();
+    let report = parts
+        .balancer
+        .balance_routed(&mut input, &route, parts.rng, &mut ctx.offload);
     bus.emit(&SimEvent::TasksMigrated {
         interrupted: report.interrupted_regions,
         moved: report.tasks_moved,
         hops: report.transfer_hops,
     });
+    // Offload decisions are per logical position; report them against
+    // the position's awake representative (the node that held — and
+    // paid to ship — the tasks).
+    for d in &ctx.offload {
+        let Some(node) = rep_map.get(d.position).copied().flatten() else {
+            continue;
+        };
+        bus.emit(&SimEvent::OffloadDecided {
+            node,
+            target: d.target,
+            tasks: d.tasks,
+            ship_energy: d.ship_energy,
+        });
+    }
 
     // Apply the assignment: rebuild each representative's pending
     // queue from the post-balance task tags (a tag names the

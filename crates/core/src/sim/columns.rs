@@ -36,7 +36,7 @@
 
 use super::ctx::{NodeSim, Package};
 use super::ledger::EnergyLedger;
-use crate::node::NodeConfig;
+use crate::node::{NodeCapabilities, NodeConfig};
 use neofog_energy::{EnergyCurve, FrontEnd, Rtc, SuperCap};
 use neofog_net::slots::SlotSchedule;
 use neofog_types::{Energy, Power, SimRng};
@@ -46,6 +46,9 @@ use neofog_types::{Energy, Power, SimRng};
 pub(crate) struct NodeCold {
     /// Node design parameters (identical across the fleet).
     pub(crate) cfg: NodeConfig,
+    /// Tier-derived radio/compute capability row (varies by tier, not
+    /// per node, so it is cold: read only in compute and balance).
+    pub(crate) caps: NodeCapabilities,
     /// Prefix-summed income curve (O(1) per-slot integration).
     pub(crate) curve: EnergyCurve,
     /// Packages awaiting fog processing (fog systems only).
@@ -73,6 +76,10 @@ pub(crate) struct NodeColumns {
     pub(crate) schedule: Vec<SlotSchedule>,
     /// Logical chain position per node.
     pub(crate) position: Vec<usize>,
+    /// Route-plan hop count from each node's position to the sink
+    /// (equals `position` on chains; the transmit sweep reads it for
+    /// session/packet hop pricing).
+    pub(crate) hops_to_sink: Vec<u32>,
     /// NV FIFO backlog (`cold[i].pending.len()`), mirrored here so
     /// admission checks and empty-queue skips never touch a cold row.
     pub(crate) fifo_depth: Vec<u32>,
@@ -124,6 +131,10 @@ pub(crate) struct NodeView<'a> {
     pub(crate) direct_left: &'a mut Energy,
     /// Logical chain position.
     pub(crate) position: usize,
+    /// Route-plan hop count to the sink.
+    pub(crate) hops_to_sink: u32,
+    /// Tier-derived capability row.
+    pub(crate) caps: NodeCapabilities,
     /// Mean income power this slot.
     pub(crate) income_power: Power,
     /// Direct-channel efficiency (per-run scalar).
@@ -214,6 +225,7 @@ impl NodeColumns {
             rtc: Vec::with_capacity(n),
             schedule: Vec::with_capacity(n),
             position: Vec::with_capacity(n),
+            hops_to_sink: Vec::with_capacity(n),
             fifo_depth: Vec::with_capacity(n),
             direct_left: vec![Energy::ZERO; n],
             awake: vec![false; n],
@@ -232,9 +244,11 @@ impl NodeColumns {
             cols.rtc.push(row.rtc);
             cols.schedule.push(row.schedule);
             cols.position.push(row.position);
+            cols.hops_to_sink.push(row.hops_to_sink);
             cols.fifo_depth.push(row.pending.len() as u32);
             cols.cold.push(NodeCold {
                 cfg: row.cfg,
+                caps: row.caps,
                 curve: row.curve,
                 pending: row.pending,
                 outbox: row.outbox,
@@ -254,6 +268,7 @@ impl NodeColumns {
             rtc,
             schedule,
             position,
+            hops_to_sink,
             cold,
             ..
         } = self;
@@ -261,18 +276,23 @@ impl NodeColumns {
             .zip(rtc)
             .zip(schedule)
             .zip(position)
+            .zip(hops_to_sink)
             .zip(cold)
-            .map(|((((cap, rtc), schedule), position), cold)| NodeSim {
-                cfg: cold.cfg,
-                cap,
-                rtc,
-                curve: cold.curve,
-                schedule,
-                position,
-                pending: cold.pending,
-                outbox: cold.outbox,
-                rng: cold.rng,
-            })
+            .map(
+                |(((((cap, rtc), schedule), position), hops_to_sink), cold)| NodeSim {
+                    cfg: cold.cfg,
+                    cap,
+                    rtc,
+                    curve: cold.curve,
+                    schedule,
+                    position,
+                    hops_to_sink,
+                    caps: cold.caps,
+                    pending: cold.pending,
+                    outbox: cold.outbox,
+                    rng: cold.rng,
+                },
+            )
             .collect()
     }
 
@@ -311,6 +331,8 @@ impl NodeColumns {
             fifo_depth: &mut self.fifo_depth[i],
             direct_left: &mut self.direct_left[i],
             position: self.position[i],
+            hops_to_sink: self.hops_to_sink[i],
+            caps: cold.caps,
             income_power: self.income_power[i],
             direct_eff: self.direct_eff,
             discharge_eff: self.discharge_eff,
@@ -353,6 +375,8 @@ mod tests {
             curve: EnergyCurve::new(trace),
             schedule: SlotSchedule::new(3, (i % 3) as u32),
             position: pos,
+            hops_to_sink: pos as u32,
+            caps: crate::node::TierCapabilities::paper_default().sensor,
             pending: (0..pend).map(|k| pkg(k, false)).collect(),
             outbox: (0..out).map(|k| pkg(k, k % 2 == 0)).collect(),
             rng: rng.fork(i as u64),

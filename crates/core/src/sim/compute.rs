@@ -48,7 +48,13 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
                     0.5 * view.available().as_nanojoules() / slot_len.as_micros() as f64,
                 );
             let lvl = parts.spendthrift.choose(effective);
-            let (epi, throughput) = (lvl.energy_per_inst, parts.spendthrift.throughput(effective));
+            // The tier capability scales execution speed (gateways and
+            // cloud nodes run faster silicon); sensors are 1.0, so the
+            // chain goldens see an exact ×1.0 multiply.
+            let (epi, throughput) = (
+                lvl.energy_per_inst,
+                parts.spendthrift.throughput(effective) * view.caps.compute_rate,
+            );
             // Keep a transmit reserve so computing never starves shipping.
             let reserve = view.cfg.radio.session_cost(parts.rf)
                 + view

@@ -13,7 +13,8 @@
 
 use super::columns::NodeColumns;
 use super::ledger::EnergyLedger;
-use crate::node::NodeConfig;
+use crate::balance::OffloadDecision;
+use crate::node::{NodeCapabilities, NodeConfig};
 use crate::sim::SimConfig;
 use neofog_energy::{EnergyCurve, Rtc, SuperCap};
 use neofog_net::slots::SlotSchedule;
@@ -60,6 +61,10 @@ pub(crate) struct NodeSim {
     pub(crate) schedule: SlotSchedule,
     /// Logical chain position this node implements.
     pub(crate) position: usize,
+    /// Route-plan hop count from this node's position to the sink.
+    pub(crate) hops_to_sink: u32,
+    /// Tier-derived radio/compute capability row.
+    pub(crate) caps: NodeCapabilities,
     /// Packages awaiting fog processing (fog systems only).
     pub(crate) pending: Vec<Package>,
     /// Packages ready for transmission.
@@ -83,6 +88,12 @@ pub(crate) struct SlotCtx {
     /// Transmit-phase scratch: forwarding airtime (bytes) accumulated
     /// per logical position this slot.
     pub(crate) forward_bytes: Vec<u64>,
+    /// Transmit-phase scratch: bytes flowing *into* each position from
+    /// its route-plan children, accumulated by the topological relay
+    /// sweep.
+    pub(crate) route_acc: Vec<u64>,
+    /// Balance-phase scratch: offload decisions taken this slot.
+    pub(crate) offload: Vec<OffloadDecision>,
     /// General package scratch (transmit ordering, stale shedding);
     /// every user clears it before use.
     pub(crate) pkg_scratch: Vec<Package>,
@@ -96,6 +107,8 @@ impl SlotCtx {
         let mut ctx = SlotCtx::default();
         ctx.ledgers.reserve(n_phys);
         ctx.forward_bytes.reserve(n_pos);
+        ctx.route_acc.reserve(n_pos);
+        ctx.offload.reserve(n_pos);
         ctx.pkg_scratch.reserve(QUEUE_RESERVE);
         ctx
     }
@@ -112,6 +125,8 @@ impl SlotCtx {
         self.ledgers
             .extend(nodes.cap.iter().map(|c| EnergyLedger::open(c.stored())));
         self.forward_bytes.clear();
+        self.route_acc.clear();
+        self.offload.clear();
         self.pkg_scratch.clear();
     }
 }

@@ -9,6 +9,7 @@
 //! debug energy ledger and the stored-energy trace are all pure
 //! folds over it.
 
+use crate::balance::OffloadTarget;
 use neofog_types::Energy;
 use serde::{Deserialize, Serialize};
 
@@ -125,6 +126,20 @@ pub enum SimEvent {
         /// Chain-hop transmissions the moves cost.
         hops: u64,
     },
+    /// The offload balancer resolved a node's backlog deficit: keep it
+    /// local, ship it one hop, or ship it to the sink (see
+    /// [`OffloadBalancer`](crate::balance::OffloadBalancer)).
+    OffloadDecided {
+        /// Physical node index of the deciding position's awake
+        /// representative.
+        node: usize,
+        /// Where the surplus tasks went.
+        target: OffloadTarget,
+        /// Tasks moved (0 when the decision was to hold).
+        tasks: u64,
+        /// Estimated radio front-end energy of the shipping.
+        ship_energy: Energy,
+    },
     /// Radio energy was charged to a node.
     RadioCharged {
         /// Physical node index.
@@ -211,6 +226,7 @@ impl SimEvent {
             SimEvent::PackageCaptured { .. } => "package_captured",
             SimEvent::PackageShed { .. } => "package_shed",
             SimEvent::TasksMigrated { .. } => "tasks_migrated",
+            SimEvent::OffloadDecided { .. } => "offload_decided",
             SimEvent::RadioCharged { .. } => "radio_charged",
             SimEvent::FogProgressed { .. } => "fog_progressed",
             SimEvent::FogCompleted { .. } => "fog_completed",
@@ -254,6 +270,13 @@ mod tests {
                 interrupted: 0,
                 moved: 0,
                 hops: 0,
+            }
+            .kind(),
+            SimEvent::OffloadDecided {
+                node: 0,
+                target: OffloadTarget::Cloud,
+                tasks: 0,
+                ship_energy: Energy::ZERO,
             }
             .kind(),
             SimEvent::RadioCharged {
@@ -307,6 +330,9 @@ mod tests {
             RadioPurpose::Packet.label(),
             RadioPurpose::Relay.label(),
             RadioPurpose::Balance.label(),
+            OffloadTarget::Local.label(),
+            OffloadTarget::Neighbor.label(),
+            OffloadTarget::Cloud.label(),
         ] {
             assert!(label.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
         }

@@ -70,13 +70,16 @@ pub use observe::{
     render_jsonl, EventLogObserver, MetricsObserver, Observers, SimObserver, StoredTraceObserver,
 };
 
-use crate::balance::{DistributedBalancer, LoadBalancer, NoBalancer, TreeBalancer};
+use crate::balance::{
+    DistributedBalancer, LoadBalancer, NoBalancer, OffloadBalancer, TreeBalancer,
+};
 use crate::metrics::NetworkMetrics;
-use crate::node::{NodeConfig, SystemKind};
+use crate::node::{NodeCapabilities, NodeConfig, SystemKind, TierCapabilities};
 use columns::NodeColumns;
 use ctx::{NodeSim, SlotCtx};
 use neofog_energy::{Rtc, Scenario, SuperCap, TraceGenerator};
 use neofog_net::slots::SlotSchedule;
+use neofog_net::{RoutePlan, TopologySpec};
 use neofog_nvp::SpendthriftPolicy;
 use neofog_rf::{LossModel, RfTimings};
 use neofog_types::{Duration, Energy, NeoFogError, Power, Result, SimRng};
@@ -92,6 +95,10 @@ pub enum BalancerKind {
     Tree,
     /// The paper's distributed Algorithm-1 balancer.
     Distributed,
+    /// The topology-aware offload balancer: compute-here vs
+    /// ship-to-neighbour vs ship-to-cloud, priced by the radio
+    /// front-end energy model.
+    Offload,
 }
 
 impl BalancerKind {
@@ -110,6 +117,7 @@ impl BalancerKind {
         match self {
             BalancerKind::None => Ok(Box::new(NoBalancer)),
             BalancerKind::Tree => Ok(Box::new(TreeBalancer::new())),
+            BalancerKind::Offload => Ok(Box::new(OffloadBalancer::new())),
             BalancerKind::Distributed => {
                 let micros = slot_len.as_micros();
                 if micros < 1_000_000 {
@@ -142,6 +150,13 @@ pub struct SimConfig {
     pub system: SystemKind,
     /// Intra-chain balancer.
     pub balancer: BalancerKind,
+    /// Network topology the positions are wired into (chain, seeded
+    /// mesh or sensor/gateway/cloud tiers); compiled once into an
+    /// immutable [`RoutePlan`] at construction.
+    pub topology: TopologySpec,
+    /// Per-tier node capabilities (compute rate, radio envelope, link
+    /// rates) applied by the node's route-plan tier.
+    pub capabilities: TierCapabilities,
     /// Power-trace scenario.
     pub scenario: Scenario,
     /// Logical chain positions (the paper presents 10).
@@ -196,6 +211,8 @@ impl SimConfig {
         SimConfig {
             system,
             balancer: BalancerKind::default_for(system),
+            topology: TopologySpec::default(),
+            capabilities: TierCapabilities::paper_default(),
             scenario,
             positions: 10,
             multiplex: 1,
@@ -251,6 +268,11 @@ pub struct Simulator {
     nodes: NodeColumns,
     /// Physical node indices per logical position.
     positions: Vec<Vec<usize>>,
+    /// Compiled topology: next-hop table, hop counts, sweep order and
+    /// CSR adjacency — the slot loop never does graph search.
+    route: RoutePlan,
+    /// Per-position capability rows, derived from each position's tier.
+    caps: Vec<NodeCapabilities>,
     balancer: Box<dyn LoadBalancer>,
     loss: LossModel,
     rf: RfTimings,
@@ -277,6 +299,8 @@ pub(crate) struct SimParts<'a> {
     pub(crate) cfg: &'a SimConfig,
     pub(crate) nodes: &'a mut NodeColumns,
     pub(crate) positions: &'a [Vec<usize>],
+    pub(crate) route: &'a RoutePlan,
+    pub(crate) caps: &'a [NodeCapabilities],
     pub(crate) balancer: &'a mut Box<dyn LoadBalancer>,
     pub(crate) loss: &'a LossModel,
     pub(crate) rf: &'a RfTimings,
@@ -301,6 +325,12 @@ impl Simulator {
         // their shared base curve exactly once here, instead of once
         // per physical node.
         let plan = gen.chain_plan(physical, total_time, trace_dt);
+        // Compile the topology once: the slot loop only reads the
+        // resulting next-hop/hops/order tables.
+        let route = cfg.topology.build(cfg.positions)?;
+        let caps: Vec<NodeCapabilities> = (0..cfg.positions)
+            .map(|p| cfg.capabilities.for_tier(route.tier(p)))
+            .collect();
         let mut rng = SimRng::seed_from(cfg.seed ^ 0x5EED);
         let mut nodes = Vec::with_capacity(physical);
         let mut positions: Vec<Vec<usize>> = vec![Vec::new(); cfg.positions];
@@ -326,6 +356,8 @@ impl Simulator {
                     curve,
                     schedule,
                     position: p,
+                    hops_to_sink: route.hops(p),
+                    caps: caps[p],
                     pending: Vec::with_capacity(ctx::QUEUE_RESERVE),
                     outbox: Vec::with_capacity(ctx::QUEUE_RESERVE),
                     rng: rng.fork(idx as u64),
@@ -349,6 +381,8 @@ impl Simulator {
         Ok(Simulator {
             nodes,
             positions,
+            route,
+            caps,
             balancer,
             loss,
             rf: RfTimings::paper_default(),
@@ -443,6 +477,8 @@ impl Simulator {
             cfg,
             nodes,
             positions,
+            route,
+            caps,
             balancer,
             loss,
             rf,
@@ -459,6 +495,8 @@ impl Simulator {
                 cfg,
                 nodes,
                 positions,
+                route,
+                caps,
                 balancer,
                 loss,
                 rf,

@@ -15,6 +15,7 @@
 //! [`Simulator::attach_observer`](crate::sim::Simulator::attach_observer).
 
 use super::event::SimEvent;
+use crate::balance::OffloadTarget;
 use crate::metrics::NetworkMetrics;
 use neofog_types::{NeoFogError, Result};
 use std::io::Write;
@@ -156,6 +157,12 @@ impl SimObserver for MetricsObserver {
                 self.metrics.balance_interruptions += interrupted;
                 self.metrics.balance_tasks_moved += moved;
                 self.metrics.balance_transfer_hops += hops;
+            }
+            SimEvent::OffloadDecided { target, tasks, .. } => {
+                self.metrics.offload_decisions += 1;
+                if !matches!(target, OffloadTarget::Local) {
+                    self.metrics.offload_shipped_tasks += tasks;
+                }
             }
             SimEvent::RadioCharged { node, energy, .. } => {
                 self.metrics.nodes[node].radio_energy += energy;
@@ -344,6 +351,19 @@ pub fn render_jsonl(slot: u64, event: &SimEvent) -> String {
             let _ = write!(
                 s,
                 ",\"interrupted\":{interrupted},\"moved\":{moved},\"hops\":{hops}"
+            );
+        }
+        SimEvent::OffloadDecided {
+            node,
+            target,
+            tasks,
+            ship_energy,
+        } => {
+            let _ = write!(
+                s,
+                ",\"node\":{node},\"target\":\"{}\",\"tasks\":{tasks},\"ship_energy_nj\":{}",
+                target.label(),
+                ship_energy.as_nanojoules()
             );
         }
         SimEvent::RadioCharged {

@@ -9,12 +9,15 @@
 //!
 //! Relay duty is accumulated as a *difference array*: each packet
 //! marks its byte count at its source position (one store), and a
-//! single reverse suffix-sum after the send loop turns the marks into
-//! per-position duty — every position relays exactly the bytes sourced
-//! strictly above it. The row pipeline walked `forward_bytes[0..pos]`
-//! per packet, which made a full-chain slot O(positions²); the marks
-//! are integers, so the suffix-sum reassociation is exact and the
-//! charged duties are bit-identical.
+//! single sweep over the route plan in decreasing-hop order (children
+//! before parents) turns the marks into per-position duty — every
+//! position relays exactly the bytes sourced at the positions that
+//! route through it. On a chain the sweep order is `[n-1, …, 0]` and
+//! each position has one child, so the sweep *is* the reverse
+//! suffix-sum of the row pipeline: the same `u64` additions in the
+//! same order, bit-identical charged duties. The row pipeline walked
+//! `forward_bytes[0..pos]` per packet, which made a full-chain slot
+//! O(positions²); the sweep is O(positions) on any topology.
 
 use super::ctx::SlotCtx;
 use super::event::{RadioPurpose, SimEvent};
@@ -71,7 +74,7 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
             energy: session,
             purpose: RadioPurpose::Session,
         });
-        let hops = position as u32; // hops to the sink edge
+        let hops = view.hops_to_sink; // route-plan hops to the sink edge
         while let Some(pkg) = view.outbox.first().copied() {
             let bytes = if pkg.fog_done {
                 view.cfg.package.processed_bytes
@@ -95,7 +98,8 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
                 view.rng.chance(p)
             };
             // Relay duty: mark the bytes at the source position; the
-            // suffix-sum below credits them to every position under it.
+            // route sweep below credits them to every position on the
+            // path to the sink.
             ctx.forward_bytes[position] += u64::from(bytes);
             let origin = pkg.origin;
             if delivered {
@@ -109,13 +113,21 @@ pub(super) fn run(sim: &mut Simulator, ctx: &mut SlotCtx) {
         }
     }
 
-    // Fold the per-source marks into per-position relay duty: the duty
-    // at a position is the byte total sourced strictly above it.
-    let mut running = 0u64;
-    for mark in ctx.forward_bytes.iter_mut().rev() {
-        let sourced = *mark;
-        *mark = running;
-        running += sourced;
+    // Fold the per-source marks into per-position relay duty with one
+    // pass over the route plan's decreasing-hop order (children before
+    // parents): a position's duty is the byte total sourced at the
+    // positions routing through it. On a chain this degenerates to the
+    // reverse suffix-sum this pass replaced — same additions, same
+    // order, bit-identical duties.
+    ctx.route_acc.resize(n_pos, 0);
+    for &v in parts.route.order() {
+        let v = v as usize;
+        let sourced = ctx.forward_bytes[v];
+        let inherited = ctx.route_acc[v];
+        ctx.forward_bytes[v] = inherited;
+        if let Some(parent) = parts.route.next_hop(v) {
+            ctx.route_acc[parent] += inherited + sourced;
+        }
     }
 
     // Charge forwarding airtime to awake representatives of the

@@ -112,3 +112,31 @@ fn wide_chain_columnar_sweeps_are_allocation_free_after_warmup() {
     let allocs = steady_state_allocs(cfg, 16);
     assert_eq!(allocs, 0, "wide-chain steady state allocated {allocs}");
 }
+
+#[test]
+fn mesh_slot_loop_is_allocation_free_after_warmup() {
+    // A routed mesh: the transmit relay fold walks the topological
+    // sweep order instead of the chain's reverse suffix-sum, and the
+    // route accumulator (`SlotCtx::route_acc`) is resized once during
+    // warm-up. Steady state must stay allocation-free on the general
+    // path too (balance excluded, as everywhere in this file).
+    let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+    cfg.positions = 200;
+    cfg.slots = 120;
+    cfg.topology = neofog_net::TopologySpec::ErdosRenyi {
+        edge_prob: 0.05,
+        seed: 7,
+    };
+    let allocs = steady_state_allocs(cfg, 16);
+    assert_eq!(allocs, 0, "mesh steady state allocated {allocs}");
+}
+
+#[test]
+fn tiered_slot_loop_is_allocation_free_after_warmup() {
+    let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+    cfg.positions = 120;
+    cfg.slots = 120;
+    cfg.topology = neofog_net::TopologySpec::Tiered { gateways: 4 };
+    let allocs = steady_state_allocs(cfg, 16);
+    assert_eq!(allocs, 0, "tiered steady state allocated {allocs}");
+}

@@ -19,13 +19,19 @@
 //!   process, with per-link virtual buffers ("the communication is
 //!   mimicked by direct data transmission ... through virtual buffers
 //!   among nodes").
+//! * [`plan`] — pluggable topologies (chain / Erdős-Rényi mesh /
+//!   tiered sensors → gateways → cloud) compiled once into immutable
+//!   [`RoutePlan`]s (next hops, hop counts, sweep order, CSR children)
+//!   so the simulator's slot loop never searches the graph.
 
 pub mod link;
+pub mod plan;
 pub mod routing;
 pub mod slots;
 pub mod topology;
 
 pub use link::LinkLayer;
+pub use plan::{erdos_renyi_edges, NodeTier, RoutePlan, TopologySpec, NO_HOP};
 pub use routing::{ChainRouter, RouteOutcome};
 pub use slots::{SlotSchedule, WakeDecision};
 pub use topology::{ChainMesh, Position};

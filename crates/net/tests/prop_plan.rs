@@ -1,0 +1,86 @@
+//! Property tests over the topology layer: the Erdős-Rényi generator
+//! is a pure function of its seed, repair always yields a
+//! sink-connected graph, and compiled [`RoutePlan`] hop counts agree
+//! with an independent reference BFS over the same edge list.
+
+use neofog_net::{erdos_renyi_edges, NodeTier, RoutePlan, TopologySpec, NO_HOP};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Reference shortest-hop BFS from node 0, written independently of
+/// the plan compiler (adjacency matrix, no CSR, no tie-breaking).
+fn reference_hops(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut adj = vec![vec![false; n]; n];
+    for &(a, b) in edges {
+        adj[a as usize][b as usize] = true;
+        adj[b as usize][a as usize] = true;
+    }
+    let mut hops = vec![NO_HOP; n];
+    if n == 0 {
+        return hops;
+    }
+    hops[0] = 0;
+    let mut queue = VecDeque::from([0usize]);
+    while let Some(v) = queue.pop_front() {
+        for (w, &linked) in adj[v].iter().enumerate() {
+            if linked && hops[w] == NO_HOP {
+                hops[w] = hops[v] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    hops
+}
+
+proptest! {
+    #[test]
+    fn generator_is_a_pure_function_of_its_seed(
+        n in 1usize..60,
+        edge_prob in 0.0..0.3f64,
+        seed in any::<u64>(),
+    ) {
+        let a = erdos_renyi_edges(n, edge_prob, seed);
+        let b = erdos_renyi_edges(n, edge_prob, seed);
+        prop_assert_eq!(&a, &b, "same (n, p, seed) must yield the same edges");
+        let spec = TopologySpec::ErdosRenyi { edge_prob, seed };
+        let plan_a = spec.build(n).unwrap();
+        let plan_b = spec.build(n).unwrap();
+        prop_assert_eq!(plan_a, plan_b, "compiled plans must match too");
+    }
+
+    #[test]
+    fn repair_leaves_every_node_sink_connected(
+        n in 1usize..60,
+        edge_prob in 0.0..0.2f64,
+        seed in any::<u64>(),
+    ) {
+        let edges = erdos_renyi_edges(n, edge_prob, seed);
+        let hops = reference_hops(n, &edges);
+        prop_assert!(
+            hops.iter().all(|&h| h != NO_HOP),
+            "repair must reattach every component to the sink"
+        );
+        // The repaired edge list always compiles.
+        let plan = RoutePlan::from_edges(n, &edges, |_| NodeTier::Sensor);
+        prop_assert!(plan.is_ok());
+    }
+
+    #[test]
+    fn plan_hops_agree_with_reference_bfs(
+        n in 1usize..50,
+        edge_prob in 0.0..0.35f64,
+        seed in any::<u64>(),
+    ) {
+        let edges = erdos_renyi_edges(n, edge_prob, seed);
+        let plan = RoutePlan::from_edges(n, &edges, |_| NodeTier::Sensor).unwrap();
+        let expect = reference_hops(n, &edges);
+        prop_assert_eq!(plan.hops_slice(), expect.as_slice());
+        // And the next-hop tree is internally consistent with those
+        // hop counts: each hop steps exactly one level toward the sink.
+        for v in 1..n {
+            let parent = plan.next_hop(v).expect("non-sink has a next hop");
+            prop_assert_eq!(plan.hops(parent), plan.hops(v) - 1, "node {}", v);
+        }
+        prop_assert_eq!(plan.next_hop(0), None, "sink routes nowhere");
+    }
+}

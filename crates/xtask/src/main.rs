@@ -240,8 +240,11 @@ fn run_bench_snapshot(check: bool) -> ExitCode {
     }
     for e in &measured {
         println!(
-            "nodes/{}: {} ns/iter ({} elem/s)",
-            e.nodes, e.per_iter_ns, e.elem_per_s
+            "{}/{}: {} ns/iter ({} elem/s)",
+            e.topo.segment(),
+            e.nodes,
+            e.per_iter_ns,
+            e.elem_per_s
         );
     }
     let path = root.join(SNAPSHOT_FILE);

@@ -443,8 +443,10 @@ pub const LEDGER_METHODS: &[&str] = &[
 pub const REACH_ENTRY_GLOB: &str = "crates/core/src/sim/*.rs";
 
 /// Files whose functions are the NF-ALLOC entry points: the six
-/// per-slot phase modules. Deliberately narrower than
-/// [`REACH_ENTRY_GLOB`] — `sim/mod.rs` (setup: `Simulator::new`
+/// per-slot phase modules, plus the offload balancer the balance
+/// phase calls into every slot (the routing sweep itself lives in
+/// `sim/transmit.rs` and is already covered). Deliberately narrower
+/// than [`REACH_ENTRY_GLOB`] — `sim/mod.rs` (setup: `Simulator::new`
 /// legitimately allocates every long-lived vector) and `sim/ctx.rs`
 /// (the warmed scratch constructor) are excluded, mirroring the
 /// warm-up window the counting-allocator test skips.
@@ -455,6 +457,7 @@ pub const ALLOC_ENTRY_FILES: &[&str] = &[
     "crates/core/src/sim/compute.rs",
     "crates/core/src/sim/transmit.rs",
     "crates/core/src/sim/slot_end.rs",
+    "crates/core/src/balance/offload.rs",
 ];
 
 /// Types whose associated constructors are heap-allocation sites for

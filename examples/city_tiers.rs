@@ -1,0 +1,80 @@
+//! Tiered deployment under starvation: battery sensors in heavy rain,
+//! two gateways and a cloud uplink, wired as a tiered route plan with
+//! the offload balancer deciding compute-here vs ship-to-gateway vs
+//! ship-to-cloud per slot — including the honest downside: gateways
+//! are priced as mains-powered but still execute shipped work from
+//! their own harvested budget, so concentrating the fleet's backlog
+//! on two rainy-trace gateways costs end-to-end delivery even as it
+//! preserves sensor batteries.
+//!
+//! ```sh
+//! cargo run --release --example city_tiers
+//! ```
+
+use neofog::core::report::render_table;
+use neofog::net::TopologySpec;
+use neofog::prelude::*;
+
+fn main() {
+    println!("Tiered offload in heavy rain: 9 sensors, 2 gateways, 1 cloud — 1 hour\n");
+
+    // The same fleet three ways: a plain chain, a chain with the
+    // offload balancer (the sink is still battery-powered, so there
+    // is little worth shipping), and the tier graph whose gateways
+    // are mains-powered offload targets.
+    let mut rows = Vec::new();
+    for (label, topology, balancer) in [
+        (
+            "chain + distributed",
+            TopologySpec::Chain,
+            BalancerKind::Distributed,
+        ),
+        (
+            "chain + offload",
+            TopologySpec::Chain,
+            BalancerKind::Offload,
+        ),
+        (
+            "tiered + offload",
+            TopologySpec::Tiered { gateways: 2 },
+            BalancerKind::Offload,
+        ),
+    ] {
+        let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainRainy, 11);
+        cfg.positions = 12;
+        cfg.slots = 300; // 300 x 12 s = 1 hour
+        cfg.topology = topology;
+        cfg.balancer = balancer;
+        let result = Simulator::new(cfg).expect("valid config").run();
+        let m = &result.metrics;
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.1}%", result.delivery_ratio() * 100.0),
+            format!("{:.0}%", m.fog_share() * 100.0),
+            m.offload_decisions.to_string(),
+            m.offload_shipped_tasks.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Configuration",
+                "Delivered",
+                "Fog share",
+                "Offload decisions",
+                "Tasks shipped",
+            ],
+            &rows,
+        )
+    );
+    println!("\nThe tier graph gives starved sensors somewhere to send work — the");
+    println!("balancer ships thousands of tasks one hop instead of holding them on");
+    println!("dying batteries. The trade is visible too: offload *prices* gateway");
+    println!("compute as free (mains power), but the simulated gateways still spend");
+    println!("their own harvested budget executing it, and in heavy rain the two");
+    println!("gateways concentrating all relay and shipped work become the");
+    println!("bottleneck — shipping preserves sensor batteries, not end-to-end");
+    println!("delivery. Compare `fig_mesh` in the ample forest scenario, where the");
+    println!("same tier graph delivers the most of the three topologies.");
+}
