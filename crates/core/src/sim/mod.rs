@@ -60,6 +60,7 @@ mod event;
 mod harvest;
 mod ledger;
 mod observe;
+mod shard;
 mod slot_end;
 mod transmit;
 mod wake;
@@ -191,6 +192,12 @@ pub struct SimConfig {
     /// Write a deterministic JSONL event log to this path (see
     /// [`EventLogObserver`]); `None` disables logging.
     pub events_path: Option<String>,
+    /// Worker threads for the sharded slot kernel: `1` (the default)
+    /// runs today's serial path, `0` resolves to the machine's
+    /// available parallelism, and any other value forks that many
+    /// position-aligned shards per element-wise phase. Every value
+    /// produces a byte-identical event log (see `sim/shard.rs`).
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -234,6 +241,7 @@ impl SimConfig {
             },
             income_scale: 1.0,
             events_path: None,
+            threads: 1,
         }
     }
 
@@ -288,8 +296,22 @@ pub struct Simulator {
     /// Reusable per-slot scratch: cleared and refilled every slot so
     /// the steady-state loop allocates nothing after warm-up.
     scratch: SlotCtx,
+    /// Resolved shard-kernel worker count (`cfg.threads` with `0`
+    /// replaced by the machine's available parallelism; always ≥ 1).
+    threads: usize,
     /// Slots advanced so far (see [`Simulator::advance`]).
     next_slot: u64,
+}
+
+/// Resolves a [`SimConfig::threads`] knob to a concrete worker count:
+/// `0` means the machine's available parallelism (the same recipe the
+/// work-stealing pool uses), anything else is taken as-is, floored at 1.
+fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
+    } else {
+        threads
+    }
 }
 
 /// The simulation state a phase may read and mutate, split from the
@@ -306,6 +328,8 @@ pub(crate) struct SimParts<'a> {
     pub(crate) rf: &'a RfTimings,
     pub(crate) spendthrift: &'a SpendthriftPolicy,
     pub(crate) rng: &'a mut SimRng,
+    /// Resolved shard-kernel worker count (see [`SimConfig::threads`]).
+    pub(crate) threads: usize,
 }
 
 impl Simulator {
@@ -378,6 +402,7 @@ impl Simulator {
         if let Some(path) = &cfg.events_path {
             observers.push(Box::new(EventLogObserver::create(path)?));
         }
+        let threads = resolve_threads(cfg.threads);
         Ok(Simulator {
             nodes,
             positions,
@@ -391,16 +416,68 @@ impl Simulator {
             metrics,
             trace,
             observers,
-            scratch: SlotCtx::warmed(physical, cfg.positions),
+            scratch: SlotCtx::warmed(physical, cfg.positions, threads),
+            threads,
             next_slot: 0,
             cfg,
         })
+    }
+
+    /// Changes the shard-kernel worker count mid-life (`0` = available
+    /// parallelism), re-warming the per-shard scratch. Determinism is
+    /// unaffected — every thread count produces the same event stream —
+    /// so benchmarks reuse one built simulator across thread variants.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = resolve_threads(threads);
+        self.cfg.threads = threads;
+        let physical = self.nodes.len();
+        self.scratch
+            .warm_shards(physical, self.cfg.positions, self.threads);
     }
 
     /// Attaches an additional observer behind the built-in recorders
     /// (delivery order: metrics, trace, then attach order).
     pub fn attach_observer(&mut self, observer: Box<dyn SimObserver>) {
         self.observers.push(observer);
+    }
+
+    /// FNV-1a digest over the complete durable per-node state:
+    /// capacitor charge, RTC sync, slot flags, queues and RNG streams.
+    /// Two simulators with equal digests hold bit-identical node state
+    /// — the parallel-equivalence tests compare threaded runs against
+    /// the serial path this way.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                hash = (hash ^ u64::from(byte)).wrapping_mul(PRIME);
+            }
+        };
+        for i in 0..self.nodes.len() {
+            mix(self.nodes.cap[i].stored().as_nanojoules().to_bits());
+            mix(u64::from(self.nodes.rtc[i].is_synchronized()));
+            mix(u64::from(self.nodes.fifo_depth[i]));
+            mix(self.nodes.direct_left[i].as_nanojoules().to_bits());
+            mix(u64::from(self.nodes.awake[i]));
+            mix(self.nodes.income_power[i].as_microwatts().to_bits());
+            mix(self.nodes.balance_credit[i].as_nanojoules().to_bits());
+            mix(self.nodes.position[i] as u64);
+            let cold = &self.nodes.cold[i];
+            for queue in [&cold.pending, &cold.outbox] {
+                mix(queue.len() as u64);
+                for pkg in queue {
+                    mix(pkg.origin as u64);
+                    mix(pkg.created);
+                    mix(pkg.fog_remaining);
+                    mix(u64::from(pkg.fog_done));
+                }
+            }
+            mix(cold.rng.clone().next_u64());
+        }
+        hash
     }
 
     /// Advances the simulation by `slots` more slots without finishing
@@ -488,6 +565,7 @@ impl Simulator {
             trace,
             observers,
             scratch: _,
+            threads,
             next_slot: _,
         } = self;
         (
@@ -502,6 +580,7 @@ impl Simulator {
                 rf,
                 spendthrift,
                 rng,
+                threads: *threads,
             },
             EventBus {
                 metrics,

@@ -1,0 +1,327 @@
+//! Shard partitioning for the multi-core slot kernel.
+//!
+//! The element-wise phases (harvest, wake, the balance-credit charge,
+//! compute, transmit's send scan, slot end) are linear sweeps over the
+//! [`NodeColumns`] arrays with no cross-node data flow inside a slot
+//! phase. This module slices those arrays into contiguous,
+//! **position-aligned** shards so the sweeps can run on one scoped
+//! thread per shard (`runner::fork::fork_join`) while observers still
+//! see exactly the serial event sequence:
+//!
+//! * **Position alignment** — physical nodes are laid out
+//!   position-major (position `p` owns indices
+//!   `p·M .. (p+1)·M` for multiplex `M`), and two transmit-phase
+//!   writes are per-*position* (`forward_bytes[pos]`, the relay-duty
+//!   representative charge). Cutting shard boundaries on position
+//!   multiples keeps every write shard-local, so shards share no
+//!   mutable state at all.
+//! * **Event splicing** — each shard records its events in a reusable
+//!   per-shard buffer ([`ShardScratch`]); after the join the
+//!   coordinator replays the buffers in ascending shard order. Every
+//!   sweep emits in ascending node index within its shard, so the
+//!   spliced stream is byte-identical to the serial sweep's — the
+//!   FNV-1a event-log goldens hold for every `threads` value.
+//! * **Scratch discipline** — shard scratch (event buffer, package
+//!   scratch) is owned by [`SlotCtx`](super::ctx::SlotCtx) and reused
+//!   across slots, preserving the steady-state zero-allocation
+//!   discipline per worker; only the `thread::scope` spawns themselves
+//!   allocate, a per-slot constant independent of fleet size.
+//!
+//! The driver [`drive`] dispatches a phase sweep either inline
+//! (`threads == 1`, today's serial path — no spawn, no buffering) or
+//! across shards. Phases with extra per-shard state (transmit's
+//! `forward_bytes` segments) build their fork manually from
+//! [`ShardIter`].
+
+use super::columns::{NodeCold, NodeColumns, NodeView};
+use super::ctx::{Package, QUEUE_RESERVE};
+use super::event::SimEvent;
+use super::ledger::EnergyLedger;
+use super::observe::EventBus;
+use crate::runner::fork::fork_join;
+use neofog_energy::{Rtc, SuperCap};
+use neofog_net::slots::SlotSchedule;
+use neofog_types::{Energy, Power};
+
+/// Reusable per-shard scratch, owned by the slot context and warmed
+/// once; the steady-state loop only refills it.
+#[derive(Default)]
+pub(crate) struct ShardScratch {
+    /// Events recorded by this shard's sweep, spliced into the bus in
+    /// shard order after the join.
+    pub(crate) events: Vec<SimEvent>,
+    /// Per-shard package scratch (transmit ordering, stale shedding) —
+    /// the sharded twin of the old `SlotCtx::pkg_scratch`.
+    pub(crate) pkg: Vec<Package>,
+    /// Transmit-phase partial: total bytes sourced in this shard's
+    /// position segment, combined by the fixed-order chain reduction.
+    pub(crate) fold_total: u64,
+}
+
+impl ShardScratch {
+    /// A scratch pre-sized for `nodes_per_shard` nodes, so warm-up
+    /// fills rather than grows the buffers.
+    pub(crate) fn warmed(nodes_per_shard: usize) -> Self {
+        let mut scratch = ShardScratch::default();
+        // Two events per node covers the release-build worst case of
+        // any single phase (harvest: booked + overflow); debug builds
+        // grow once more for the ledger settlements.
+        scratch.events.reserve(2 * nodes_per_shard);
+        scratch.pkg.reserve(QUEUE_RESERVE);
+        scratch
+    }
+}
+
+/// Disjoint `&mut` slices over one contiguous, position-aligned run of
+/// the columns — the view a sharded sweep works on. `base`/`pos_base`
+/// translate shard-local indices back to global node indices (for
+/// events) and logical positions (for per-position scratch).
+pub(crate) struct ColumnsShard<'a> {
+    /// Global index of the shard's first physical node.
+    pub(crate) base: usize,
+    /// First logical position covered by the shard.
+    pub(crate) pos_base: usize,
+    pub(crate) cap: &'a mut [SuperCap],
+    pub(crate) rtc: &'a mut [Rtc],
+    pub(crate) schedule: &'a [SlotSchedule],
+    pub(crate) position: &'a [usize],
+    pub(crate) hops_to_sink: &'a [u32],
+    pub(crate) fifo_depth: &'a mut [u32],
+    pub(crate) direct_left: &'a mut [Energy],
+    pub(crate) awake: &'a mut [bool],
+    pub(crate) income_power: &'a mut [Power],
+    pub(crate) balance_credit: &'a mut [Energy],
+    pub(crate) cold: &'a mut [NodeCold],
+    /// This shard's slice of the per-node conservation ledgers.
+    pub(crate) ledgers: &'a mut [EnergyLedger],
+    /// Direct-channel efficiency (per-run scalar, shared).
+    pub(crate) direct_eff: f64,
+    /// Discharge-regulator efficiency (per-run scalar, shared).
+    pub(crate) discharge_eff: f64,
+}
+
+impl ColumnsShard<'_> {
+    /// Physical nodes in the shard.
+    pub(crate) fn len(&self) -> usize {
+        self.cold.len()
+    }
+
+    /// A row lens over shard-local node `local` — the sharded twin of
+    /// [`NodeColumns::view`], with identical field wiring.
+    pub(crate) fn view(&mut self, local: usize) -> NodeView<'_> {
+        self.view_ledger(local).0
+    }
+
+    /// [`view`](ColumnsShard::view) plus the node's conservation
+    /// ledger, split-borrowed so both stay live together.
+    pub(crate) fn view_ledger(&mut self, local: usize) -> (NodeView<'_>, &mut EnergyLedger) {
+        let cold = &mut self.cold[local];
+        let view = NodeView {
+            cfg: &cold.cfg,
+            cap: &mut self.cap[local],
+            pending: &mut cold.pending,
+            outbox: &mut cold.outbox,
+            rng: &mut cold.rng,
+            fifo_depth: &mut self.fifo_depth[local],
+            direct_left: &mut self.direct_left[local],
+            position: self.position[local],
+            hops_to_sink: self.hops_to_sink[local],
+            caps: cold.caps,
+            income_power: self.income_power[local],
+            direct_eff: self.direct_eff,
+            discharge_eff: self.discharge_eff,
+        };
+        (view, &mut self.ledgers[local])
+    }
+}
+
+/// One full-range shard: the serial path's view over every node
+/// (`base == pos_base == 0`), built without any allocation.
+pub(crate) fn full<'a>(
+    cols: &'a mut NodeColumns,
+    ledgers: &'a mut [EnergyLedger],
+) -> ColumnsShard<'a> {
+    ColumnsShard {
+        base: 0,
+        pos_base: 0,
+        cap: &mut cols.cap,
+        rtc: &mut cols.rtc,
+        schedule: &cols.schedule,
+        position: &cols.position,
+        hops_to_sink: &cols.hops_to_sink,
+        fifo_depth: &mut cols.fifo_depth,
+        direct_left: &mut cols.direct_left,
+        awake: &mut cols.awake,
+        income_power: &mut cols.income_power,
+        balance_credit: &mut cols.balance_credit,
+        cold: &mut cols.cold,
+        ledgers,
+        direct_eff: cols.direct_eff,
+        discharge_eff: cols.discharge_eff,
+    }
+}
+
+/// Positions per shard for `n_pos` positions on `threads` workers
+/// (ceiling division; the last shard may be short).
+pub(crate) fn pos_per_shard(n_pos: usize, threads: usize) -> usize {
+    n_pos.div_ceil(threads.max(1)).max(1)
+}
+
+/// Iterator yielding position-aligned [`ColumnsShard`]s, carving the
+/// column slices with `split_at_mut` — no allocation per shard.
+pub(crate) struct ShardIter<'a> {
+    base: usize,
+    pos_base: usize,
+    nodes_per_shard: usize,
+    pos_per_shard: usize,
+    direct_eff: f64,
+    discharge_eff: f64,
+    cap: &'a mut [SuperCap],
+    rtc: &'a mut [Rtc],
+    schedule: &'a [SlotSchedule],
+    position: &'a [usize],
+    hops_to_sink: &'a [u32],
+    fifo_depth: &'a mut [u32],
+    direct_left: &'a mut [Energy],
+    awake: &'a mut [bool],
+    income_power: &'a mut [Power],
+    balance_credit: &'a mut [Energy],
+    cold: &'a mut [NodeCold],
+    ledgers: &'a mut [EnergyLedger],
+}
+
+impl<'a> ShardIter<'a> {
+    /// Shards `cols` (and the matching ledger slice) into runs of
+    /// `pos_per_shard` logical positions, `pos_per_shard × multiplex`
+    /// physical nodes.
+    pub(crate) fn new(
+        cols: &'a mut NodeColumns,
+        ledgers: &'a mut [EnergyLedger],
+        pos_per_shard: usize,
+        multiplex: usize,
+    ) -> ShardIter<'a> {
+        ShardIter {
+            base: 0,
+            pos_base: 0,
+            nodes_per_shard: pos_per_shard * multiplex.max(1),
+            pos_per_shard,
+            direct_eff: cols.direct_eff,
+            discharge_eff: cols.discharge_eff,
+            cap: &mut cols.cap,
+            rtc: &mut cols.rtc,
+            schedule: &cols.schedule,
+            position: &cols.position,
+            hops_to_sink: &cols.hops_to_sink,
+            fifo_depth: &mut cols.fifo_depth,
+            direct_left: &mut cols.direct_left,
+            awake: &mut cols.awake,
+            income_power: &mut cols.income_power,
+            balance_credit: &mut cols.balance_credit,
+            cold: &mut cols.cold,
+            ledgers,
+        }
+    }
+}
+
+/// Splits the head `take` elements off a `&mut` slice field in place.
+fn take_mut<'a, T>(slot: &mut &'a mut [T], take: usize) -> &'a mut [T] {
+    let (head, rest) = std::mem::take(slot).split_at_mut(take);
+    *slot = rest;
+    head
+}
+
+/// Splits the head `take` elements off a shared slice field in place.
+fn take_ref<'a, T>(slot: &mut &'a [T], take: usize) -> &'a [T] {
+    let (head, rest) = std::mem::take(slot).split_at(take);
+    *slot = rest;
+    head
+}
+
+impl<'a> Iterator for ShardIter<'a> {
+    type Item = ColumnsShard<'a>;
+
+    fn next(&mut self) -> Option<ColumnsShard<'a>> {
+        if self.cold.is_empty() {
+            return None;
+        }
+        let take = self.nodes_per_shard.min(self.cold.len());
+        let shard = ColumnsShard {
+            base: self.base,
+            pos_base: self.pos_base,
+            cap: take_mut(&mut self.cap, take),
+            rtc: take_mut(&mut self.rtc, take),
+            schedule: take_ref(&mut self.schedule, take),
+            position: take_ref(&mut self.position, take),
+            hops_to_sink: take_ref(&mut self.hops_to_sink, take),
+            fifo_depth: take_mut(&mut self.fifo_depth, take),
+            direct_left: take_mut(&mut self.direct_left, take),
+            awake: take_mut(&mut self.awake, take),
+            income_power: take_mut(&mut self.income_power, take),
+            balance_credit: take_mut(&mut self.balance_credit, take),
+            cold: take_mut(&mut self.cold, take),
+            ledgers: take_mut(&mut self.ledgers, take),
+            direct_eff: self.direct_eff,
+            discharge_eff: self.discharge_eff,
+        };
+        self.base += take;
+        self.pos_base += self.pos_per_shard;
+        Some(shard)
+    }
+}
+
+/// A phase sweep runnable on one shard: the body of the serial loop,
+/// parameterized over the event sink so the serial path emits straight
+/// to the bus and the sharded path records into the shard buffer.
+pub(crate) trait Sweep: Sync {
+    /// Sweeps one shard, emitting events in ascending node order.
+    fn sweep<E: FnMut(SimEvent)>(
+        &self,
+        shard: &mut ColumnsShard<'_>,
+        pkg: &mut Vec<Package>,
+        emit: E,
+    );
+}
+
+/// Runs `sweep` over the whole fleet: inline on the serial path
+/// (`threads <= 1`), or forked across position-aligned shards with the
+/// per-shard event buffers spliced back in shard order.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn drive<S: Sweep>(
+    cols: &mut NodeColumns,
+    ledgers: &mut [EnergyLedger],
+    scratches: &mut [ShardScratch],
+    threads: usize,
+    n_pos: usize,
+    multiplex: usize,
+    bus: &mut EventBus<'_>,
+    sweep: &S,
+) {
+    let shards = threads.min(n_pos).max(1);
+    if shards <= 1 {
+        let mut shard = full(cols, ledgers);
+        let pkg = &mut scratches[0].pkg;
+        sweep.sweep(&mut shard, pkg, |e| bus.emit(&e));
+        return;
+    }
+    let per = pos_per_shard(n_pos, shards);
+    fork_join(
+        ShardIter::new(cols, ledgers, per, multiplex)
+            .zip(scratches.iter_mut())
+            .map(|(mut shard, scratch)| {
+                let ShardScratch { events, pkg, .. } = scratch;
+                move || sweep.sweep(&mut shard, pkg, |e| events.push(e))
+            }),
+    );
+    splice(scratches, bus);
+}
+
+/// Replays (and clears) the per-shard event buffers in ascending shard
+/// order — the spliced stream equals the serial emission sequence.
+pub(crate) fn splice(scratches: &mut [ShardScratch], bus: &mut EventBus<'_>) {
+    for scratch in scratches {
+        for event in &scratch.events {
+            bus.emit(event);
+        }
+        scratch.events.clear();
+    }
+}

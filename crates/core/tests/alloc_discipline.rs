@@ -140,3 +140,30 @@ fn tiered_slot_loop_is_allocation_free_after_warmup() {
     let allocs = steady_state_allocs(cfg, 16);
     assert_eq!(allocs, 0, "tiered steady state allocated {allocs}");
 }
+
+#[test]
+fn threaded_slot_loop_allocations_are_constant_in_fleet_size() {
+    // The sharded kernel spawns scoped threads per parallel round, and
+    // `std::thread::scope` allocates per spawn — a fixed per-slot cost
+    // the global counter sees regardless of which worker allocated.
+    // The discipline for the threaded path is therefore: once shard
+    // scratch is warm, steady-state allocations are a constant of the
+    // thread count alone — growing the fleet 8× must not add a single
+    // allocation (no per-node or per-event heap traffic on any worker).
+    let allocs_at = |positions: usize| {
+        let mut cfg =
+            SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::ForestIndependent, 1);
+        cfg.positions = positions;
+        cfg.slots = 60;
+        cfg.trace_dt = cfg.slot_len;
+        cfg.threads = 4;
+        steady_state_allocs(cfg, 16)
+    };
+    let small = allocs_at(250);
+    let large = allocs_at(2_000);
+    assert_eq!(
+        small, large,
+        "threaded steady-state allocations scale with fleet size \
+         (250 positions: {small}, 2000 positions: {large})"
+    );
+}

@@ -182,23 +182,26 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "NF-PAR-001",
-        summary: "interior mutability reachable from the parallel runner",
-        rationale: "the work-stealing pool guarantees parallel == serial \
-                    results; Mutex/RwLock/RefCell/Cell (or a static mut) \
-                    reachable from a worker body or a Reduce::map/fold \
-                    impl is shared state whose observation order depends \
-                    on thread scheduling — the one thing the golden tests \
-                    cannot sweep over every interleaving",
+        summary: "interior mutability reachable from a parallel entry point",
+        rationale: "the work-stealing pool and the sharded slot kernel both \
+                    guarantee parallel == serial results; Mutex/RwLock/\
+                    RefCell/Cell (or a static mut) reachable from a worker \
+                    body, a Reduce::map/fold impl, or a shard sweep is \
+                    shared state whose observation order depends on thread \
+                    scheduling — the one thing the golden tests cannot \
+                    sweep over every interleaving",
         scope: Scope::Library,
     },
     Rule {
         id: "NF-PAR-002",
-        summary: "unordered iteration source reachable from the parallel runner",
+        summary: "unordered iteration source reachable from a parallel entry point",
         rationale: "HashMap/HashSet iteration order varies run to run; a \
-                    reducer folding over one produces aggregates that differ \
-                    between worker counts even when every per-job result is \
-                    bit-identical, silently breaking the parallel == serial \
-                    guarantee the runner's re-sequencing exists to uphold",
+                    reducer or shard sweep folding over one produces \
+                    aggregates that differ between worker or shard counts \
+                    even when every per-job result is bit-identical, \
+                    silently breaking the parallel == serial guarantee the \
+                    runner's re-sequencing and the kernel's event splicing \
+                    exist to uphold",
         scope: Scope::Library,
     },
     Rule {
@@ -495,10 +498,12 @@ pub const ALLOC_GROWTH_METHODS: &[&str] = &[
 ];
 
 /// Files whose functions are the NF-PAR entry points: the
-/// work-stealing runner. Worker closures, the coordinator and every
-/// `Reduce::map`/`fold` impl the pool dispatches into are reached from
-/// here through the call graph.
-pub const PAR_ENTRY_GLOB: &str = "crates/core/src/runner/*.rs";
+/// work-stealing runner (worker closures, the coordinator and every
+/// `Reduce::map`/`fold` impl the pool dispatches into) AND the sharded
+/// slot kernel (the `fork_join` layer plus every phase sweep the shard
+/// driver forks — `sim/shard.rs` and the six phase files are all
+/// reachable from a forked task).
+pub const PAR_ENTRY_GLOBS: &[&str] = &["crates/core/src/runner/*.rs", "crates/core/src/sim/*.rs"];
 
 /// Interior-mutability types banned on runner-reachable paths by
 /// NF-PAR-001. Atomics are deliberately absent — the pool's own

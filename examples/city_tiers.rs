@@ -8,14 +8,20 @@
 //! preserves sensor batteries.
 //!
 //! ```sh
-//! cargo run --release --example city_tiers
+//! cargo run --release --example city_tiers [-- --threads <n>]
 //! ```
+//!
+//! `--threads` shards each simulation's slot kernel (`0` = all cores;
+//! the result table is identical at any width — the kernel is
+//! deterministic); `--seed` and `--slots` rescale the run.
 
 use neofog::core::report::render_table;
 use neofog::net::TopologySpec;
 use neofog::prelude::*;
+use neofog_bench::BenchArgs;
 
 fn main() {
+    let args = BenchArgs::parse_or_exit();
     println!("Tiered offload in heavy rain: 9 sensors, 2 gateways, 1 cloud — 1 hour\n");
 
     // The same fleet three ways: a plain chain, a chain with the
@@ -40,11 +46,16 @@ fn main() {
             BalancerKind::Offload,
         ),
     ] {
-        let mut cfg = SimConfig::paper_default(SystemKind::FiosNeoFog, Scenario::MountainRainy, 11);
+        let mut cfg = SimConfig::paper_default(
+            SystemKind::FiosNeoFog,
+            Scenario::MountainRainy,
+            args.seed.unwrap_or(11),
+        );
         cfg.positions = 12;
-        cfg.slots = 300; // 300 x 12 s = 1 hour
+        cfg.slots = args.slots.unwrap_or(300); // 300 x 12 s = 1 hour
         cfg.topology = topology;
         cfg.balancer = balancer;
+        cfg.threads = args.sim_threads();
         let result = Simulator::new(cfg).expect("valid config").run();
         let m = &result.metrics;
         rows.push(vec![
