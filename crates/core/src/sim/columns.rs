@@ -338,7 +338,7 @@ mod tests {
         );
         let mut rtc = Rtc::new(Energy::from_millijoules(5.0), Power::from_microwatts(2.0));
         // Vary the RTC level (and possibly its sync state) per node.
-        rtc.advance(Duration::from_secs(seed % 7));
+        rtc.elapse(Duration::from_secs(seed % 7));
         let mut rng = SimRng::seed_from(seed);
         let pkg = |k: usize, done: bool| Package {
             origin: i,

@@ -97,6 +97,29 @@ fn tiered_threaded_matches_serial() {
     assert_equivalent(&cfg, 40, "tiered", &[2, 4, 16]);
 }
 
+/// Miri-sized shard check: a fleet small enough for the interpreter,
+/// driven through the real fork/splice machinery at three threads.
+/// No event-log file — miri's isolation has no temp dir — so the
+/// assertion rides on the durable-column digest alone; the byte-exact
+/// event-stream half of the contract is pinned by the tests above.
+/// CI's nightly miri job runs exactly this test by name.
+#[test]
+fn sharded_drive_small_fleet_threads3_matches_serial() {
+    let mut cfg = base_cfg(SystemKind::FiosNeoFog, 6, 1, 11);
+    cfg.slots = 8;
+    let mut serial = Simulator::new(cfg.clone()).expect("valid config");
+    serial.advance(8);
+    let mut threaded_cfg = cfg;
+    threaded_cfg.threads = 3;
+    let mut threaded = Simulator::new(threaded_cfg).expect("valid config");
+    threaded.advance(8);
+    assert_eq!(
+        serial.state_digest(),
+        threaded.state_digest(),
+        "column state diverged between serial and threads=3"
+    );
+}
+
 #[test]
 fn threads_zero_resolves_and_matches_serial() {
     let cfg = base_cfg(SystemKind::FiosNeoFog, 10, 1, 3);

@@ -34,7 +34,13 @@ use std::path::Path;
 
 /// Format version; bump on any change to the lexer, parser, test-span
 /// stripper, or inline-directive filter.
-pub const CACHE_VERSION: u64 = 1;
+///
+/// v2: the lexer now retains numeric-literal text (float detection for
+/// NF-FLOAT) and `FnItem` gained the signature token span (NF-SHARD
+/// scans signatures) — v1 entries would restore models with empty
+/// number tokens and no signature ranges, silently blinding both new
+/// rule families, so they must be discarded.
+pub const CACHE_VERSION: u64 = 2;
 
 /// Default cache location, relative to the workspace root.
 pub const CACHE_FILE: &str = "target/xtask/model-cache.json";
@@ -185,7 +191,7 @@ impl ModelCache {
                     s.push(',');
                 }
                 s.push_str(&format!(
-                    "[{},{},[{}],{},{},{},{}]",
+                    "[{},{},[{}],{},{},{},{},{},{}]",
                     json_str(&f.name),
                     json_str(f.self_ty.as_deref().unwrap_or("")),
                     f.modules
@@ -195,6 +201,8 @@ impl ModelCache {
                         .join(","),
                     u32::from(f.has_self),
                     f.line,
+                    f.sig.start,
+                    f.sig.end,
                     f.body.start,
                     f.body.end
                 ));
@@ -327,12 +335,17 @@ fn parse_entry(r: &mut Reader) -> Result<(String, Entry), String> {
                     let has_self = r.number()? != 0;
                     r.eat(',')?;
                     let line = u32_of(r.number()?)?;
-                    r.eat(',')?;
-                    let start = usize::try_from(r.number()?)
-                        .map_err(|_| "range out of usize".to_string())?;
-                    r.eat(',')?;
-                    let end = usize::try_from(r.number()?)
-                        .map_err(|_| "range out of usize".to_string())?;
+                    let mut range = || -> Result<std::ops::Range<usize>, String> {
+                        r.eat(',')?;
+                        let start = usize::try_from(r.number()?)
+                            .map_err(|_| "range out of usize".to_string())?;
+                        r.eat(',')?;
+                        let end = usize::try_from(r.number()?)
+                            .map_err(|_| "range out of usize".to_string())?;
+                        Ok(start..end)
+                    };
+                    let sig = range()?;
+                    let body = range()?;
                     r.eat(']')?;
                     fns.push(FnItem {
                         name,
@@ -340,7 +353,8 @@ fn parse_entry(r: &mut Reader) -> Result<(String, Entry), String> {
                         modules,
                         has_self,
                         line,
-                        body: start..end,
+                        sig,
+                        body,
                     });
                     Ok(())
                 })?;
@@ -470,6 +484,7 @@ mod tests {
                     &a.modules,
                     a.has_self,
                     a.line,
+                    &a.sig,
                     &a.body
                 ),
                 (
@@ -478,6 +493,7 @@ mod tests {
                     &b.modules,
                     b.has_self,
                     b.line,
+                    &b.sig,
                     &b.body
                 )
             );
@@ -511,6 +527,11 @@ mod tests {
         assert!(ModelCache::load(&p).is_empty(), "garbage");
         std::fs::write(&p, "{\"version\":999,\"files\":[]}").expect("write");
         assert!(ModelCache::load(&p).is_empty(), "future version");
+        std::fs::write(&p, "{\"version\":1,\"files\":[]}").expect("write");
+        assert!(
+            ModelCache::load(&p).is_empty(),
+            "pre-sig/pre-float v1 caches are discarded, not reinterpreted"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

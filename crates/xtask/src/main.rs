@@ -113,7 +113,11 @@ fn workspace_root() -> PathBuf {
 
 /// `.rs` paths touched per git: `git diff --name-only HEAD` plus
 /// untracked files. Returns `None` (with a message) when git is
-/// unavailable — the caller falls back to a full run.
+/// unavailable — the caller falls back to a full run. Paths git
+/// reports but that no longer exist on disk (deleted or renamed-away
+/// files still in the diff) are skipped with a note: there is nothing
+/// to re-lint at a path with no file, and handing it to the engine
+/// would abort the whole run with a read error.
 fn git_changed_paths(root: &Path) -> Option<Vec<String>> {
     let mut paths = Vec::new();
     for args in [
@@ -137,7 +141,21 @@ fn git_changed_paths(root: &Path) -> Option<Vec<String>> {
     }
     paths.sort();
     paths.dedup();
+    retain_on_disk(root, &mut paths);
     Some(paths)
+}
+
+/// Drops paths with no file on disk, printing a note per skip. Split
+/// from [`git_changed_paths`] so the deleted-path behaviour is
+/// testable without a git checkout.
+fn retain_on_disk(root: &Path, paths: &mut Vec<String>) {
+    paths.retain(|p| {
+        let exists = root.join(p).is_file();
+        if !exists {
+            eprintln!("xtask lint: skipping deleted path from git diff: {p}");
+        }
+        exists
+    });
 }
 
 fn run_lint(json: bool, sarif_out: bool, timings: bool, changed: bool, no_cache: bool) -> ExitCode {
@@ -295,11 +313,7 @@ fn explain_rule(id: &str) -> ExitCode {
 }
 
 fn scope_text(scope: Scope) -> String {
-    match scope {
-        Scope::Library => "library code".to_string(),
-        Scope::SimCrates => "sim crates (core, energy, net, nvp, rf)".to_string(),
-        Scope::File(p) | Scope::Glob(p) => p.to_string(),
-    }
+    rules::scope_text(scope)
 }
 
 fn render_text(report: &LintReport) {
@@ -398,5 +412,24 @@ fn print_rules() {
     println!("identifier exemptions:");
     for a in rules::IDENT_ALLOWS {
         println!("  {}  {}  — {}", a.rule, a.ident, a.reason);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::retain_on_disk;
+    use std::path::Path;
+
+    #[test]
+    fn changed_path_filter_drops_deleted_files() {
+        // A real source file survives; a path git might still report
+        // after a delete/rename does not.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut paths = vec![
+            "crates/xtask/src/main.rs".to_string(),
+            "crates/xtask/src/no_such_file_anymore.rs".to_string(),
+        ];
+        retain_on_disk(&root, &mut paths);
+        assert_eq!(paths, ["crates/xtask/src/main.rs"]);
     }
 }

@@ -14,6 +14,8 @@
 //! | `NF-NV`       | 001                           | pass 3 (call graph)   |
 //! | `NF-ALLOC`    | 001 construction, 002 growth  | pass 3 (call graph)   |
 //! | `NF-PAR`      | 001 int. mut., 002 unordered  | pass 3 (call graph)   |
+//! | `NF-SHARD`    | 001 global state, 002 raw emit| pass 3 (call graph)   |
+//! | `NF-FLOAT`    | 001 f64 fold, 002 f64 compare | pass 3 (call graph)   |
 //!
 //! The per-file rules run in pass 1 on each file's token stream
 //! (models are rebuilt only for files whose content hash changed —
@@ -212,6 +214,50 @@ pub const RULES: &[Rule] = &[
                     per-slot conservation (harvested = consumed + stored + \
                     leaked + lost)",
         scope: Scope::Glob("crates/core/src/sim/*.rs"),
+    },
+    Rule {
+        id: "NF-SHARD-001",
+        summary: "full-fleet state reachable from a shard sweep body",
+        rationale: "a shard sweep sees exactly one position-aligned slice of \
+                    the fleet (ColumnsShard / NodeView); naming NodeColumns, \
+                    NodeCold or SlotCtx from a sweep-reachable function is a \
+                    global-index access that silently aliases state another \
+                    thread owns, so parallel and serial runs diverge in ways \
+                    the goldens only catch after the fact",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-SHARD-002",
+        summary: "event bus reached from a shard sweep, bypassing the splice",
+        rationale: "sweeps must emit through the per-shard ShardScratch event \
+                    buffer so drive() can splice buffers in ascending shard \
+                    order — the step that makes parallel emission order equal \
+                    serial order; a direct bus.emit/on_event call from a \
+                    sweep-reachable function publishes events in thread \
+                    completion order instead",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-FLOAT-001",
+        summary: "floating-point accumulation on the sharded drive path",
+        rationale: "float addition is not associative, so an f64 +=/sum()/fold \
+                    whose grouping depends on shard count breaks bit-identity \
+                    between thread counts; cross-shard reductions (the \
+                    transmit carry pass, fold_total) must stay integer — that \
+                    invariant is what lets one FNV-1a golden pin every thread \
+                    count at once",
+        scope: Scope::Library,
+    },
+    Rule {
+        id: "NF-FLOAT-002",
+        summary: "floating-point comparison on the sharded drive path",
+        rationale: "a branch on an f64 comparison reachable from the shard \
+                    kernel turns any accumulated rounding difference into a \
+                    control-flow difference, amplifying a 1-ulp wobble into \
+                    divergent event streams; comparisons on node-local values \
+                    with shard-independent evaluation order are waived in the \
+                    baseline with per-site rationale (DESIGN.md §17)",
+        scope: Scope::Library,
     },
 ];
 
@@ -534,6 +580,75 @@ pub const NV_CRATES: &[&str] = &["nvp", "rf"];
 /// themselves).
 pub const NV_COMMIT_MARKERS: &[&str] = &["commit", "checkpoint", "restore", "ledger"];
 
+/// Files that may contain shard sweeps: the six phase modules, the
+/// shard layer itself and the fork-join primitive. Only the
+/// *sweep-shaped* functions in them (named `sweep` or `*_sweep`) are
+/// NF-SHARD entry roots — `drive`, `splice` and `ColumnsShard::full`
+/// are sanctioned coordinators that legitimately name the full-fleet
+/// types, and no sweep can call back into them.
+pub const SHARD_ENTRY_FILES: &[&str] = &[
+    "crates/core/src/sim/harvest.rs",
+    "crates/core/src/sim/wake.rs",
+    "crates/core/src/sim/balance.rs",
+    "crates/core/src/sim/compute.rs",
+    "crates/core/src/sim/transmit.rs",
+    "crates/core/src/sim/slot_end.rs",
+    "crates/core/src/sim/shard.rs",
+    "crates/core/src/runner/fork.rs",
+];
+
+/// `true` for function names that mark a shard-sweep entry point.
+#[must_use]
+pub fn is_sweep_name(name: &str) -> bool {
+    name == "sweep" || name.ends_with("_sweep")
+}
+
+/// Full-fleet state types banned from sweep-reachable signatures and
+/// bodies by NF-SHARD-001. Sweeps receive a `ColumnsShard` split slice
+/// and go through `NodeView`; these names appearing downstream of a
+/// sweep mean a global-index escape hatch.
+pub const SHARD_GLOBAL_STATE_IDENTS: &[&str] = &[
+    "NodeColumns",
+    "NodeCold",
+    "SlotCtx",
+    "Simulator",
+    "SimParts",
+];
+
+/// Method names whose dotted call from a sweep-reachable function is a
+/// direct observer dispatch (NF-SHARD-002). Bare `emit(..)` is the
+/// sweep's own scratch-buffer closure parameter and stays sanctioned —
+/// it is not a method, so it never links to `EventBus::emit`.
+pub const SHARD_EMIT_METHODS: &[&str] = &["emit", "on_event"];
+
+/// Bus/observer types banned from sweep-reachable signatures and
+/// bodies by NF-SHARD-002.
+pub const SHARD_BUS_IDENTS: &[&str] = &["EventBus", "Observers"];
+
+/// Files whose *every* function roots the NF-FLOAT reachability scan,
+/// in addition to the sweep-shaped entries of [`SHARD_ENTRY_FILES`]:
+/// the shard driver (parallel arm + splice), the fork-join layer, and
+/// the transmit module that owns the cross-shard suffix-sum/carry
+/// pass.
+pub const FLOAT_ENTRY_FILES: &[&str] = &[
+    "crates/core/src/sim/shard.rs",
+    "crates/core/src/runner/fork.rs",
+    "crates/core/src/sim/transmit.rs",
+];
+
+/// Files whose reachable functions are *scanned* for NF-FLOAT sites:
+/// the kernel/coordinator layer, the only place a cross-shard
+/// reduction can physically live (leaf crates see one node at a time,
+/// so their float arithmetic is node-local by construction).
+pub const FLOAT_SITE_GLOBS: &[&str] = &["crates/core/src/sim/*.rs", "crates/core/src/runner/*.rs"];
+
+/// Iterator reduction methods flagged by NF-FLOAT-001 when the
+/// enclosing statement shows float evidence.
+pub const FLOAT_FOLD_METHODS: &[&str] = &["sum", "fold", "product"];
+
+/// Identifiers that count as float evidence within a statement.
+pub const FLOAT_TYPE_IDENTS: &[&str] = &["f64", "f32"];
+
 /// Crates excluded from the call graph: developer tooling that is
 /// never linked into a simulator binary, so reachability through it
 /// is meaningless (and its conservative method-name edges would only
@@ -544,4 +659,15 @@ pub const TOOL_CRATES: &[&str] = &["xtask", "alloc-probe"];
 #[must_use]
 pub fn rule_by_id(id: &str) -> Option<&'static Rule> {
     RULES.iter().find(|r| r.id == id)
+}
+
+/// Human-readable description of a scope, shared by `--explain` and
+/// the SARIF `help` property.
+#[must_use]
+pub fn scope_text(scope: Scope) -> String {
+    match scope {
+        Scope::Library => "library code".to_string(),
+        Scope::SimCrates => "sim crates (core, energy, net, nvp, rf)".to_string(),
+        Scope::File(p) | Scope::Glob(p) => p.to_string(),
+    }
 }

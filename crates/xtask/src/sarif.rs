@@ -53,13 +53,7 @@ pub fn render(report: &LintReport) -> String {
         if i > 0 {
             s.push(',');
         }
-        s.push_str(&format!(
-            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
-             \"fullDescription\":{{\"text\":{}}}}}",
-            json_str(r.id),
-            json_str(r.summary),
-            json_str(r.rationale)
-        ));
+        s.push_str(&render_rule(r));
     }
     s.push_str("]}},\"results\":[");
     let mut first = true;
@@ -79,6 +73,28 @@ pub fn render(report: &LintReport) -> String {
     }
     s.push_str("]}]}");
     s
+}
+
+/// One `tool.driver.rules` entry. `shortDescription` is the one-line
+/// summary, `fullDescription` the rationale, and `help` packages the
+/// rationale together with the rule's scope so a SARIF viewer's
+/// help pane answers both "why does this matter" and "where does it
+/// apply" without the reader opening `rules.rs`.
+fn render_rule(r: &rules::Rule) -> String {
+    let help = format!(
+        "{}\n\napplies to: {}",
+        r.rationale,
+        rules::scope_text(r.scope)
+    );
+    format!(
+        "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+         \"fullDescription\":{{\"text\":{}}},\
+         \"help\":{{\"text\":{}}}}}",
+        json_str(r.id),
+        json_str(r.summary),
+        json_str(r.rationale),
+        json_str(&help)
+    )
 }
 
 /// One SARIF `result`. Baselined findings carry a `suppressions`
@@ -160,6 +176,32 @@ mod tests {
         // Every rule in the table is described.
         for r in rules::RULES {
             assert!(doc.contains(&format!("\"id\":\"{}\"", r.id)), "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn rule_entry_snapshot_carries_description_and_help() {
+        // Exact serialized form of one rule entry — a change to the
+        // SARIF shape (or to this rule's wording) must be deliberate.
+        let rule = rules::rule_by_id("NF-DET-001").expect("rule exists");
+        let entry = render_rule(rule);
+        assert_eq!(
+            entry,
+            "{\"id\":\"NF-DET-001\",\
+             \"shortDescription\":{\"text\":\"wall-clock time source in simulation code\"},\
+             \"fullDescription\":{\"text\":\"Instant/SystemTime make runs irreproducible; \
+             simulated time advances only through slot arithmetic\"},\
+             \"help\":{\"text\":\"Instant/SystemTime make runs irreproducible; simulated \
+             time advances only through slot arithmetic\\n\\napplies to: sim crates \
+             (core, energy, net, nvp, rf)\"}}"
+        );
+        // And every rule's help text names its scope.
+        for r in rules::RULES {
+            assert!(
+                render_rule(r).contains("applies to:"),
+                "{} help lacks scope",
+                r.id
+            );
         }
     }
 

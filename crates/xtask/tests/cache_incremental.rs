@@ -125,6 +125,30 @@ fn corrupt_cache_degrades_to_a_cold_start_and_is_rewritten() {
 }
 
 #[test]
+fn a_previous_version_cache_is_invalidated_wholesale() {
+    // The CACHE_VERSION bump to 2 (number-literal text retention +
+    // signature spans) must invalidate caches written before this
+    // rule generation existed: a v1 model has no `sig` range and
+    // empty Number text, so restoring it would silently blind
+    // NF-SHARD's signature scan and NF-FLOAT's literal evidence.
+    let root = scratch_root("version");
+    let cache = root.join(CACHE_FILE);
+    fs::create_dir_all(cache.parent().unwrap()).unwrap();
+    fs::write(&cache, "{\"version\":1,\"files\":[]}").unwrap();
+    let report = lint_workspace_with(&root, &cached()).unwrap();
+    assert_eq!(
+        report.stats.cache_hits, 0,
+        "a pre-bump cache restores nothing"
+    );
+    assert_eq!(report.stats.cache_misses, 3);
+    // The run rewrote the cache at the current version: next run warm.
+    let warm = lint_workspace_with(&root, &cached()).unwrap();
+    assert_eq!(warm.stats.cache_hits, 3);
+    assert_eq!(warm.stats.cache_misses, 0);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
 fn the_no_cache_configuration_stays_hermetic() {
     let root = scratch_root("hermetic");
     let report = lint_workspace_with(&root, &LintOptions::default()).unwrap();

@@ -1,0 +1,17 @@
+//! NF-FLOAT clean twin: the integer carry pass the rule exists to
+//! protect. `+=` over `u64` and an integer comparison carry no float
+//! evidence, and the `as f64` derivation uses a plain `=` — all
+//! silent, because integer addition is associative at any shard
+//! grouping.
+
+pub fn run(fwd: &mut [u64], carry: &mut u64) -> u64 {
+    let mut total = 0u64;
+    for f in fwd.iter() {
+        total += *f;
+    }
+    if total > 10 {
+        *carry += total;
+    }
+    let duty = *carry as f64 * 0.5;
+    duty as u64
+}

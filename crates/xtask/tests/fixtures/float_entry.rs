@@ -1,0 +1,8 @@
+//! NF-FLOAT fixture, hop 0: a function in a `FLOAT_ENTRY_FILES`
+//! module (every function there roots the scan — the carry pass is
+//! not sweep-shaped) that is itself clean but reaches the float
+//! arithmetic one hop away.
+
+pub fn run(parts: &[f64]) -> f64 {
+    blend_fixture(parts)
+}

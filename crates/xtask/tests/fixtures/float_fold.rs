@@ -1,0 +1,16 @@
+//! NF-FLOAT fixture, hop 1: float accumulation and a float branch in
+//! kernel-layer code. Reached from the drive path, the evidenced
+//! `+=` and `.fold()` fire NF-FLOAT-001 and the `>` comparison fires
+//! NF-FLOAT-002; the plain `=` rebind stays silent — overwriting a
+//! float is a derivation, not an order-sensitive accumulation.
+
+pub fn blend_fixture(parts: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for p in parts {
+        acc += p * 0.5;
+    }
+    if acc > 0.75 {
+        acc = 1.0;
+    }
+    parts.iter().fold(0.0, |a, b| a + b) + acc
+}

@@ -1,0 +1,9 @@
+//! NF-SHARD clean twin: the disciplined shape of the same sweep. It
+//! sees one shard-local row lens and emits through the bare closure
+//! parameter — the scratch-buffer path `drive()` splices — so neither
+//! shard rule has anything to say.
+
+pub fn scatter_sweep(view: &mut NodeView, emit: &mut dyn FnMut(u64)) {
+    emit(7);
+    view.bump();
+}

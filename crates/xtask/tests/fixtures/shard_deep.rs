@@ -1,0 +1,8 @@
+//! NF-SHARD fixture, hop 1: a helper that takes the full fleet by
+//! global index. On its own this is policy-free (coordinators do it);
+//! reached from a sweep it is the classic escape hatch, and the
+//! witness chain names the sweep that leaked it.
+
+pub fn poke_fixture(cols: &mut NodeColumns, node: usize) -> u64 {
+    cols.total(node)
+}

@@ -1,0 +1,12 @@
+//! NF-SHARD fixture, hop 0: a sweep-shaped function (linted at a
+//! `SHARD_ENTRY_FILES` path) that breaks shard discipline twice — it
+//! receives the whole fleet instead of a split slice (NF-SHARD-001
+//! fires on the signature) and dispatches straight into the bus
+//! instead of the scratch buffer (NF-SHARD-002 fires on the dotted
+//! call and on the `EventBus` parameter type) — then leaks the fleet
+//! into a depth-2 helper.
+
+pub fn gather_sweep(cols: &mut NodeColumns, bus: &EventBus, node: usize) -> u64 {
+    bus.emit(&node);
+    poke_fixture(cols, node)
+}
