@@ -731,3 +731,13 @@ fn nv_rule_is_quiet_when_every_path_is_commit_disciplined() {
     ]);
     assert!(report.violations.is_empty(), "{:?}", report.violations);
 }
+
+#[test]
+fn scratch_turbofish_float_generic_fp_check() {
+    let report = lint_sources(&[(
+        "crates/core/src/sim/transmit.rs",
+        "pub fn run(parts: &[u64]) -> u64 {\n    let v: Vec<f64> = Vec::new();\n    let t = parts.iter().copied().map(|x| x as u64).collect::<Vec<u64>>();\n    v.len() as u64 + t.len() as u64\n}\n",
+    )]);
+    let hits: Vec<(&str, u32)> = report.violations.iter().map(|v| (v.rule, v.line)).collect();
+    assert_eq!(hits, Vec::<(&str, u32)>::new(), "{:?}", report.violations);
+}
